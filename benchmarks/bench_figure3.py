@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Figure 3 — IPv4 addresses per alias set."""
+
+from repro.experiments import figure3
+
+
+def bench_figure3(benchmark, scenario):
+    result = benchmark.pedantic(lambda: figure3.build(scenario), rounds=1, iterations=1)
+    print()
+    print(figure3.render(result))
+    # Print the ECDF series (the data behind the figure) for the SSH curves.
+    for label in ("Active SSH", "Active SNMPv3", "Active BGP"):
+        series = result.curve(label).ecdf.series(points=[2, 5, 10, 50, 100, 1000])
+        rendered = ", ".join(f"F({int(x)})={fraction:.2f}" for x, fraction in series)
+        print(f"{label}: {rendered}")
+
+    ssh = result.curve("Active SSH")
+    bgp = result.curve("Active BGP")
+    snmp = result.curve("Active SNMPv3")
+    # Paper shape: >60% of SSH sets contain exactly two addresses; BGP and
+    # SNMPv3 sets are larger; the bulk of every curve sits below 100.
+    assert ssh.fraction_exactly_two() > 0.6
+    assert bgp.fraction_exactly_two() < 0.35
+    assert snmp.fraction_exactly_two() < 0.35
+    for curve in result.curves.values():
+        if curve.set_count:
+            assert curve.fraction_under_hundred() > 0.9

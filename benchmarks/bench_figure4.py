@@ -1,0 +1,26 @@
+"""Benchmark / regeneration of Figure 4 — IPv6 addresses per alias set."""
+
+from repro.experiments import figure4
+
+
+def bench_figure4(benchmark, scenario):
+    result = benchmark.pedantic(lambda: figure4.build(scenario), rounds=1, iterations=1)
+    print()
+    print(figure4.render(result))
+    for label, ecdf in result.curves.items():
+        if len(ecdf):
+            series = ecdf.series(points=[2, 5, 10, 50, 100])
+            print(label + ": " + ", ".join(f"F({int(x)})={fraction:.2f}" for x, fraction in series))
+
+    ssh = result.curves["Active SSH"]
+    snmp = result.curves["Active SNMPv3"]
+    bgp = result.curves["Active BGP"]
+    # Paper shape: SSH sets exist in numbers and tend to be smaller than the
+    # router-based BGP/SNMPv3 sets; all curves concentrate below 100.
+    assert len(ssh) > len(snmp)
+    assert len(ssh) > len(bgp)
+    if len(ssh) and len(snmp):
+        assert ssh.median() <= snmp.median()
+    for ecdf in result.curves.values():
+        if len(ecdf):
+            assert ecdf.evaluate(99) > 0.9

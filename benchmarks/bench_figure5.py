@@ -1,0 +1,19 @@
+"""Benchmark / regeneration of Figure 5 — ASes per IPv4 alias set."""
+
+from repro.experiments import figure5
+
+
+def bench_figure5(benchmark, scenario):
+    result = benchmark.pedantic(lambda: figure5.build(scenario), rounds=1, iterations=1)
+    print()
+    print(figure5.render(result))
+    for label, ecdf in result.curves.items():
+        if len(ecdf):
+            series = ecdf.series(points=[1, 2, 3, 5, 10])
+            print(label + ": " + ", ".join(f"F({int(x)})={fraction:.2f}" for x, fraction in series))
+
+    # Paper shape: fewer than 10% of SSH and SNMPv3 sets span several ASes,
+    # more than 35% of BGP sets do.
+    assert result.multi_as_fractions["SSH"] < 0.1
+    assert result.multi_as_fractions["SNMPv3"] < 0.15
+    assert result.multi_as_fractions["BGP"] > 0.35

@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of Figure 6 — alias / dual-stack sets per AS."""
+
+from repro.experiments import figure6
+
+
+def bench_figure6(benchmark, scenario):
+    result = benchmark.pedantic(lambda: figure6.build(scenario), rounds=1, iterations=1)
+    print()
+    print(figure6.render(result))
+    series = result.alias_sets_per_as.series(points=[1, 10, 100, 1000])
+    print("Alias sets per AS: " + ", ".join(f"F({int(x)})={fraction:.2f}" for x, fraction in series))
+
+    # Paper shape: most ASes hold few sets; only a small fraction holds more
+    # than 100; every AS holding a dual-stack set also holds an alias set.
+    assert result.ases_with_alias_sets > 0
+    assert result.fraction_ases_over_hundred < 0.2
+    assert result.alias_sets_per_as.evaluate(100) > 0.8
+    assert result.ases_with_dual_stack_sets <= result.ases_with_alias_sets

@@ -1,0 +1,62 @@
+"""Microbenchmarks of the protocol substrates.
+
+These measure the per-message cost of the wire-format code that every scan
+record passes through (SSH KEXINIT, BGP OPEN, SNMPv3 discovery), which is
+what bounds the throughput of the application-layer grabber.
+"""
+
+from repro.protocols.bgp.capabilities import Capability
+from repro.protocols.bgp.messages import BgpOpen, parse_messages
+from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_report
+from repro.protocols.snmp.engine_id import EngineId
+from repro.protocols.ssh.kex import KexInit
+from repro.protocols.ssh.server import SshServerBehavior, SshServerConfig
+from repro.protocols.ssh.client import SshScanClient
+from repro.net.endpoint import LoopbackConnection
+
+
+def bench_ssh_kexinit_roundtrip(benchmark):
+    message = KexInit(cookie=b"\x42" * 16)
+
+    def run():
+        return KexInit.parse(message.build()).capability_signature()
+
+    signature = benchmark(run)
+    assert len(signature) == 64
+
+
+def bench_ssh_full_handshake(benchmark):
+    config = SshServerConfig.generate("bench-host")
+    client = SshScanClient()
+
+    def run():
+        return client.scan("192.0.2.1", LoopbackConnection(SshServerBehavior(config)))
+
+    record = benchmark(run)
+    assert record.has_identifier
+
+
+def bench_bgp_open_roundtrip(benchmark):
+    message = BgpOpen(
+        my_as=23456,
+        hold_time=90,
+        bgp_identifier="198.51.100.7",
+        capabilities=(Capability.route_refresh_cisco(), Capability.route_refresh(), Capability.four_octet_as(396982)),
+    )
+
+    def run():
+        return parse_messages(message.build())
+
+    parsed = benchmark(run)
+    assert parsed[0].effective_asn == 396982
+
+
+def bench_snmp_discovery_roundtrip(benchmark):
+    engine_id = EngineId.generate("bench-agent")
+    report = build_discovery_report(msg_id=1, engine_id=engine_id, engine_boots=3, engine_time=12345)
+
+    def run():
+        return SnmpV3Message.parse(report)
+
+    parsed = benchmark(run)
+    assert parsed.security_parameters.engine_id == engine_id.encode()

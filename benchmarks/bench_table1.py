@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Table 1 — service scanning dataset overview."""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark, scenario):
+    result = benchmark.pedantic(lambda: table1.build(scenario), rounds=1, iterations=1)
+    print()
+    print(table1.render(result))
+
+    ssh = result.row("SSH")
+    bgp = result.row("BGP")
+    snmp = result.row("SNMPv3")
+    # Paper shape: SSH dwarfs BGP in responsive IPs; the union is at least as
+    # large as either individual source; Censys covers SSH at least as well
+    # as the rate-limited single vantage point.
+    assert ssh.active_ips > bgp.active_ips
+    assert ssh.union_ips >= max(ssh.active_ips, ssh.censys_ips)
+    assert ssh.censys_ips >= ssh.active_ips
+    assert snmp.active_ips > 0
+    # IPv6 coverage is much smaller than IPv4 (hitlist-limited).
+    assert result.row("SSH (IPv6)", family="ipv6").active_ips < ssh.active_ips

@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of Table 2 — alias set validation."""
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, scenario):
+    result = benchmark.pedantic(
+        lambda: table2.build(scenario, midar_sample_size=120), rounds=1, iterations=1
+    )
+    print()
+    print(table2.render(result))
+
+    # Paper shape: every cross-protocol pair agrees on >= 95% of comparable
+    # sets; MIDAR can only test a small fraction of the sampled SSH sets but
+    # agrees with the vast majority of those it can test.
+    for pair in ("SSH-BGP", "SSH-SNMPv3", "BGP-SNMPv3"):
+        row = result.row(pair)
+        if row.sample_size:
+            assert row.agreement_rate >= 0.9
+    midar = result.row("SSH-MIDAR")
+    assert result.midar_coverage < 0.6
+    if midar.sample_size:
+        assert midar.agreement_rate >= 0.8

@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Table 3 — alias sets overview."""
+
+from repro.experiments import table3
+
+
+def bench_table3(benchmark, scenario):
+    result = benchmark.pedantic(lambda: table3.build(scenario), rounds=1, iterations=1)
+    print()
+    print(table3.render(result))
+
+    ssh_union = result.row("ipv4", "SSH", "union")
+    snmp_union = result.row("ipv4", "SNMPv3", "union")
+    bgp_union = result.row("ipv4", "BGP", "union")
+    union_union = result.row("ipv4", "Union", "union")
+    ssh_active = result.row("ipv4", "SSH", "active")
+    ssh_censys = result.row("ipv4", "SSH", "censys")
+
+    # Headline: the full union identifies roughly twice as many non-singleton
+    # IPv4 alias sets as SNMPv3 alone, and most sets come from SSH.
+    assert union_union.sets >= 1.8 * snmp_union.sets
+    assert ssh_union.sets > snmp_union.sets > bgp_union.sets
+    # Censys adds substantial SSH coverage over the active scan alone.
+    assert ssh_censys.sets > ssh_active.sets
+    assert ssh_union.sets >= max(ssh_active.sets, ssh_censys.sets)
+    # Composition of the union: SSH/BGP-identifiable sets dominate.
+    assert result.union_ssh_bgp_share > 0.5
+    # IPv6: SSH contributes the most sets, as in the paper.
+    assert result.row("ipv6", "SSH", "active").sets >= result.row("ipv6", "SNMPv3", "active").sets

@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Table 4 — dual-stack sets."""
+
+from repro.experiments import table4
+
+
+def bench_table4(benchmark, scenario):
+    result = benchmark.pedantic(lambda: table4.build(scenario), rounds=1, iterations=1)
+    print()
+    print(table4.render(result))
+
+    ssh = result.row("SSH")
+    bgp = result.row("BGP")
+    snmp = result.row("SNMPv3")
+    union = result.row("Union")
+
+    # Headline: SSH (and thus the union) identifies an order of magnitude
+    # more dual-stack sets than the SNMPv3 baseline (paper: ~30x).
+    assert ssh.sets >= 10 * max(snmp.sets, 1)
+    assert union.sets >= ssh.sets
+    assert ssh.sets > bgp.sets
+    # Nearly all union sets are identifiable via SSH or BGP.
+    assert result.ssh_bgp_share > 0.9
+    # Most sets pair a single IPv4 with a single IPv6 address.
+    assert result.one_to_one_share > 0.5

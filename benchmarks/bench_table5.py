@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of Table 5 — top 10 ASes for IPv4 alias sets."""
+
+from repro.experiments import table5
+from repro.simnet.asn import AsRole
+
+
+def bench_table5(benchmark, scenario):
+    result = benchmark.pedantic(lambda: table5.build(scenario), rounds=1, iterations=1)
+    print()
+    print(table5.render(result))
+
+    # Paper shape: cloud providers dominate the SSH and union top-10 lists,
+    # ISPs dominate BGP and SNMPv3.
+    assert result.cloud_share("SSH") >= 0.6
+    assert result.cloud_share("Union") >= 0.5
+    assert result.role_counts("BGP").get(AsRole.ISP, 0) >= 6
+    assert result.role_counts("SNMPv3").get(AsRole.ISP, 0) >= 6

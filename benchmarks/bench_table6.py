@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of Table 6 — top ASes for IPv6 / dual-stack sets."""
+
+from repro.experiments import table6
+from repro.simnet.asn import AsRole
+
+
+def bench_table6(benchmark, scenario):
+    result = benchmark.pedantic(lambda: table6.build(scenario), rounds=1, iterations=1)
+    print()
+    print(table6.render(result))
+
+    # Paper shape: the dual-stack top-10 is led by cloud providers and the
+    # top three ASes hold a large share of all dual-stack sets; the IPv6
+    # alias-set list contains a healthy ISP presence (router interfaces).
+    dual_roles = result.role_counts("dual")
+    assert dual_roles.get(AsRole.CLOUD, 0) >= 3
+    assert result.top3_dual_stack_share >= 0.3
+    assert result.ipv6_entries and result.dual_stack_entries

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.  The
+expensive part — generating the simulated Internet and collecting the active
+and Censys datasets — happens once per session in the :func:`scenario`
+fixture; the benchmarked callables are the aggregation steps that produce
+the table or figure from those datasets.
+
+Set ``REPRO_BENCH_SCALE`` to change the size of the simulated Internet
+(default 1.0, roughly 20k addresses).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.scenario import PaperScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    built = PaperScenario(ScenarioConfig(scale=scale, seed=seed))
+    # Materialise the datasets and reports once so that the per-table
+    # benchmarks measure aggregation, not data collection.
+    built.report("active")
+    built.report("censys")
+    built.report("union")
+    return built

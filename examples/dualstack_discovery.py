@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Dual-stack discovery: protocol identifiers vs the DNS PTR baseline.
+
+The paper's second headline result is that protocol-centric identifiers
+(SSH, BGP, SNMPv3) discover far more dual-stack hosts than earlier
+techniques.  This example compares three approaches on the same simulated
+Internet:
+
+* SSH/BGP identifiers (this paper),
+* SNMPv3 engine IDs (the prior protocol-centric baseline), and
+* matching reverse-DNS names (a generic prior technique).
+
+Run with::
+
+    python examples/dualstack_discovery.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.baselines.ptr import PtrResolver, ptr_dual_stack_sets
+from repro.core.dual_stack import infer_dual_stack, union_dual_stack
+from repro.experiments.scenario import PaperScenario, ScenarioConfig
+from repro.simnet.device import ServiceType
+
+
+def main() -> None:
+    scenario = PaperScenario(ScenarioConfig(scale=0.5, seed=21))
+    observations = list(scenario.active_ipv4) + list(scenario.active_ipv6)
+    print(f"Observations: {len(observations)} over "
+          f"{len(scenario.network.all_addresses())} simulated addresses")
+
+    ssh = infer_dual_stack(observations, protocol=ServiceType.SSH, name="ssh")
+    bgp = infer_dual_stack(observations, protocol=ServiceType.BGP, name="bgp")
+    snmp = infer_dual_stack(observations, protocol=ServiceType.SNMPV3, name="snmpv3")
+    union = union_dual_stack([ssh, bgp, snmp], name="union")
+
+    # The PTR baseline can only match addresses that have reverse DNS set up.
+    resolver = PtrResolver(scenario.network, coverage=0.55, seed=3)
+    scanned = sorted({observation.address for observation in observations})
+    ptr_sets = ptr_dual_stack_sets(resolver, scanned)
+
+    rows = []
+    for name, collection in (
+        ("SSH", ssh),
+        ("BGP", bgp),
+        ("SNMPv3", snmp),
+        ("SSH+BGP+SNMPv3 union", union),
+        ("DNS PTR matching", ptr_sets),
+    ):
+        rows.append(
+            [
+                name,
+                len(collection),
+                len(collection.ipv4_addresses()),
+                len(collection.ipv6_addresses()),
+                f"{100 * collection.one_to_one_fraction():.0f}%",
+            ]
+        )
+    print()
+    print(render_table(
+        ["Technique", "Dual-stack sets", "IPv4 addrs", "IPv6 addrs", "1 IPv4 + 1 IPv6"],
+        rows,
+        title="Dual-stack identification compared",
+    ))
+
+    snmp_only = len(snmp) or 1
+    print(f"\nSSH identifies {len(ssh) / snmp_only:.0f}x more dual-stack sets than SNMPv3 alone "
+          f"(paper reports roughly 30x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work on environments without the ``wheel`` package, e.g. offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Alias-set size statistics.
+
+The paper's Figure 3/4 discussion highlights three facts about set sizes:
+most sets contain fewer than 100 addresses, more than 60% of SSH sets
+contain exactly two addresses, and BGP sets tend to be larger.  The summary
+computed here exposes exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.ecdf import Ecdf
+from repro.core.aliasset import AliasSetCollection
+
+
+@dataclasses.dataclass(frozen=True)
+class SetSizeSummary:
+    """Summary statistics of non-singleton alias-set sizes."""
+
+    collection_name: str
+    set_count: int
+    covered_addresses: int
+    fraction_exactly_two: float
+    fraction_at_most_ten: float
+    fraction_under_hundred: float
+    median_size: float
+    max_size: int
+
+
+def set_size_summary(collection: AliasSetCollection) -> SetSizeSummary:
+    """Compute the size summary of a collection's non-singleton sets."""
+    non_singleton = collection.non_singleton()
+    sizes = non_singleton.sizes()
+    if not sizes:
+        return SetSizeSummary(
+            collection_name=collection.name,
+            set_count=0,
+            covered_addresses=0,
+            fraction_exactly_two=0.0,
+            fraction_at_most_ten=0.0,
+            fraction_under_hundred=0.0,
+            median_size=0.0,
+            max_size=0,
+        )
+    ecdf = Ecdf(sizes)
+    return SetSizeSummary(
+        collection_name=collection.name,
+        set_count=len(sizes),
+        covered_addresses=len(non_singleton.addresses()),
+        fraction_exactly_two=sum(1 for size in sizes if size == 2) / len(sizes),
+        fraction_at_most_ten=ecdf.evaluate(10),
+        fraction_under_hundred=ecdf.evaluate(99),
+        median_size=ecdf.median(),
+        max_size=max(sizes),
+    )

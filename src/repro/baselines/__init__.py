@@ -1,0 +1,33 @@
+"""Alias-resolution baselines the paper compares against or validates with.
+
+* :mod:`repro.baselines.ipid` — IPID time-series collection and the
+  monotonic bounds test shared by the IPID-based techniques.
+* :mod:`repro.baselines.midar` — a MIDAR-style estimation → elimination →
+  corroboration pipeline, used to validate SSH-derived sets (Table 2).
+* :mod:`repro.baselines.ally` — the classic pairwise Ally test.
+* :mod:`repro.baselines.speedtrap` — the IPv6 (Speedtrap-style) variant.
+* :mod:`repro.baselines.iffinder` — the common source address technique.
+* :mod:`repro.baselines.ptr` — DNS PTR-based dual-stack identification.
+"""
+
+from repro.baselines.ally import AllyProber
+from repro.baselines.iffinder import IffinderProber
+from repro.baselines.ipid import IpidTimeSeries, TargetClass, classify_series, shared_counter_test
+from repro.baselines.midar import MidarConfig, MidarProber, MidarSetVerdict
+from repro.baselines.ptr import PtrResolver, ptr_dual_stack_sets
+from repro.baselines.speedtrap import SpeedtrapProber
+
+__all__ = [
+    "AllyProber",
+    "IffinderProber",
+    "IpidTimeSeries",
+    "TargetClass",
+    "classify_series",
+    "shared_counter_test",
+    "MidarConfig",
+    "MidarProber",
+    "MidarSetVerdict",
+    "PtrResolver",
+    "ptr_dual_stack_sets",
+    "SpeedtrapProber",
+]

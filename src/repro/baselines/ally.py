@@ -1,0 +1,88 @@
+"""Ally: the original pairwise IPID alias test (Rocketfuel).
+
+Ally probes two candidate addresses alternately a handful of times and
+declares them aliases when the observed IPIDs interleave into one in-order,
+closely spaced sequence.  It is the per-pair ancestor of MIDAR's pipeline
+and is included as the cheaper, noisier baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.baselines.ipid import collect_interleaved, shared_counter_test
+from repro.simnet.network import SimulatedInternet, VantagePoint
+
+
+@dataclasses.dataclass(frozen=True)
+class AllyVerdict:
+    """Outcome of one Ally pair test."""
+
+    left: str
+    right: str
+    responded: bool
+    aliases: bool
+
+
+class AllyProber:
+    """Pairwise Ally tester against the simulated Internet."""
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        vantage: VantagePoint | None = None,
+        rounds: int = 3,
+        interval: float = 0.5,
+        max_velocity: float = 2_000.0,
+    ) -> None:
+        self._network = network
+        self._vantage = vantage or VantagePoint(name="ally-vp", address="192.0.2.252")
+        self._rounds = rounds
+        self._interval = interval
+        self._max_velocity = max_velocity
+
+    def test_pair(self, left: str, right: str, start_time: float = 0.0) -> AllyVerdict:
+        """Test whether ``left`` and ``right`` appear to share an IPID counter."""
+        series = collect_interleaved(
+            self._network,
+            [left, right],
+            self._vantage,
+            rounds=self._rounds,
+            interval=self._interval,
+            start_time=start_time,
+        )
+        left_samples = series[left].samples
+        right_samples = series[right].samples
+        if len(left_samples) < 2 or len(right_samples) < 2:
+            return AllyVerdict(left=left, right=right, responded=False, aliases=False)
+        merged = left_samples + right_samples
+        aliases = shared_counter_test(merged, max_velocity=self._max_velocity)
+        return AllyVerdict(left=left, right=right, responded=True, aliases=aliases)
+
+    def resolve(self, addresses: list[str], start_time: float = 0.0) -> list[frozenset[str]]:
+        """Group ``addresses`` into alias sets by exhaustive pairwise testing.
+
+        Quadratic in the number of addresses — usable only for small target
+        lists, which is precisely Ally's historical limitation.
+        """
+        parent = {address: address for address in addresses}
+
+        def find(address: str) -> str:
+            while parent[address] != address:
+                parent[address] = parent[parent[address]]
+                address = parent[address]
+            return address
+
+        now = start_time
+        for index, left in enumerate(addresses):
+            for right in addresses[index + 1 :]:
+                if find(left) == find(right):
+                    continue
+                verdict = self.test_pair(left, right, start_time=now)
+                now += 2 * self._rounds * self._interval
+                if verdict.aliases:
+                    parent[find(right)] = find(left)
+        groups: dict[str, set[str]] = {}
+        for address in addresses:
+            groups.setdefault(find(address), set()).add(address)
+        return [frozenset(group) for group in groups.values()]

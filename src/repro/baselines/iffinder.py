@@ -1,0 +1,89 @@
+"""iffinder: the common source address technique.
+
+The earliest alias-resolution approach (Mercator / iffinder): send a UDP
+packet to a closed port and look at the source address of the resulting ICMP
+port-unreachable message.  If a router sources the error from a different
+interface than the one probed, the probed and the source address are
+aliases.  The paper's introduction notes the technique has become largely
+impractical because most routers now answer from the probed address or not
+at all — the simulation's device policy mix reproduces that, so this
+baseline discovers only a small fraction of the aliases the protocol-centric
+technique finds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.simnet.network import SimulatedInternet, VantagePoint
+
+
+@dataclasses.dataclass(frozen=True)
+class IffinderObservation:
+    """One probe outcome: the probed address and the ICMP source (if any)."""
+
+    probed: str
+    icmp_source: str | None
+
+    @property
+    def reveals_alias(self) -> bool:
+        """Whether the ICMP source differs from the probed address."""
+        return self.icmp_source is not None and self.icmp_source != self.probed
+
+
+class IffinderProber:
+    """Runs the common-source-address technique over a target list."""
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        vantage: VantagePoint | None = None,
+        probes_per_second: float = 1_000.0,
+    ) -> None:
+        self._network = network
+        self._vantage = vantage or VantagePoint(name="iffinder-vp", address="192.0.2.254")
+        self._rate = probes_per_second
+
+    def probe(self, address: str, now: float = 0.0) -> IffinderObservation:
+        """Probe one address and record the ICMP source."""
+        message = self._network.probe_udp_closed_port(address, self._vantage, now=now)
+        return IffinderObservation(probed=address, icmp_source=message.source if message else None)
+
+    def resolve(self, addresses: list[str], start_time: float = 0.0) -> list[frozenset[str]]:
+        """Probe every address and group aliases revealed by mismatched sources."""
+        parent: dict[str, str] = {}
+
+        def find(address: str) -> str:
+            parent.setdefault(address, address)
+            while parent[address] != address:
+                parent[address] = parent[parent[address]]
+                address = parent[address]
+            return address
+
+        def union(left: str, right: str) -> None:
+            left_root, right_root = find(left), find(right)
+            if left_root != right_root:
+                parent[right_root] = left_root
+
+        now = start_time
+        observations = []
+        for address in addresses:
+            observation = self.probe(address, now=now)
+            observations.append(observation)
+            now += 1.0 / self._rate
+            find(address)
+            if observation.reveals_alias:
+                union(address, observation.icmp_source)
+        groups: dict[str, set[str]] = {}
+        for address in parent:
+            groups.setdefault(find(address), set()).add(address)
+        return [frozenset(group) for group in groups.values()]
+
+    def observations(self, addresses: list[str], start_time: float = 0.0) -> list[IffinderObservation]:
+        """Raw probe outcomes, for analyses that need per-address detail."""
+        now = start_time
+        results = []
+        for address in addresses:
+            results.append(self.probe(address, now=now))
+            now += 1.0 / self._rate
+        return results

@@ -1,0 +1,66 @@
+"""DNS PTR-based dual-stack identification.
+
+Prior work identifies dual-stack hosts by matching the reverse-DNS names of
+IPv4 and IPv6 addresses.  The technique needs both families to have PTR
+records and the operator to use the same name for both, which limits its
+coverage; the reproduction models that by resolving only a configurable
+fraction of addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+
+from repro.core.dual_stack import DualStackCollection, DualStackSet
+from repro.net.addresses import AddressFamily, family_of
+from repro.simnet.network import SimulatedInternet
+
+
+class PtrResolver:
+    """Resolves PTR records for simulated addresses.
+
+    Coverage is deterministic per address (derived from the seed), so the
+    same resolver always answers the same subset of queries.
+    """
+
+    def __init__(self, network: SimulatedInternet, coverage: float = 0.6, seed: int = 0) -> None:
+        self._network = network
+        self._coverage = coverage
+        self._seed = seed
+
+    def resolve(self, address: str) -> str | None:
+        """Return the PTR name of ``address`` or ``None`` when unresolvable."""
+        device = self._network.device_for(address)
+        if device is None or not device.hostname:
+            return None
+        digest = hashlib.blake2b(f"ptr|{self._seed}|{address}".encode(), digest_size=8).digest()
+        if int.from_bytes(digest, "big") / float(1 << 64) >= self._coverage:
+            return None
+        return device.hostname
+
+
+def ptr_dual_stack_sets(
+    resolver: PtrResolver, addresses: list[str], name: str = "ptr"
+) -> DualStackCollection:
+    """Group addresses whose PTR names match into dual-stack sets."""
+    by_name: dict[str, dict[AddressFamily, set[str]]] = defaultdict(lambda: defaultdict(set))
+    for address in addresses:
+        ptr_name = resolver.resolve(address)
+        if ptr_name is None:
+            continue
+        by_name[ptr_name][family_of(address)].add(address)
+    collection = DualStackCollection(name)
+    for ptr_name, families in sorted(by_name.items()):
+        ipv4 = families.get(AddressFamily.IPV4, set())
+        ipv6 = families.get(AddressFamily.IPV6, set())
+        if ipv4 and ipv6:
+            collection.add(
+                DualStackSet(
+                    identifier=ptr_name,
+                    ipv4_addresses=frozenset(ipv4),
+                    ipv6_addresses=frozenset(ipv6),
+                    protocols=frozenset(),
+                )
+            )
+    return collection

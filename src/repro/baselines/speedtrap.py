@@ -1,0 +1,37 @@
+"""Speedtrap-style IPv6 alias resolution.
+
+Speedtrap (Luckie et al., IMC 2013) induces fragmented IPv6 responses and
+uses the fragment identification counter the same way IPv4 techniques use
+the IP-ID.  In the simulation the device's IPID counter stands in for the
+fragment-ID counter, so the technique is a thin IPv6-flavoured wrapper over
+the shared MIDAR machinery: targets whose counters are random, constant, or
+per-interface remain unresolvable, which keeps Speedtrap's coverage low —
+consistent with the paper's motivation that IPv6 alias resolution is hard.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.midar import MidarConfig, MidarProber, MidarSetVerdict
+from repro.net.addresses import is_ipv6
+from repro.simnet.network import SimulatedInternet, VantagePoint
+
+
+class SpeedtrapProber(MidarProber):
+    """IPv6 candidate-set verification using fragment-ID style counters."""
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        vantage: VantagePoint | None = None,
+        config: MidarConfig | None = None,
+    ) -> None:
+        super().__init__(
+            network,
+            vantage or VantagePoint(name="speedtrap-vp", address="192.0.2.253"),
+            config or MidarConfig(estimation_samples=6, corroboration_rounds=5),
+        )
+
+    def verify_set(self, candidate, start_time: float = 0.0) -> MidarSetVerdict:
+        """Verify an IPv6 candidate set; IPv4 members are ignored."""
+        ipv6_members = [address for address in candidate if is_ipv6(address)]
+        return super().verify_set(ipv6_members, start_time=start_time)

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+The CLI mirrors how the paper's artifacts would be used in practice:
+
+* ``repro scan`` — generate a simulated Internet and run the measurement
+  campaigns (active and Censys-like), writing observation datasets to disk.
+* ``repro resolve`` — run alias resolution and dual-stack inference over one
+  or more observation datasets and write the resulting alias sets plus a
+  markdown report.
+* ``repro experiments`` — regenerate the paper's tables and figures (or a
+  selected subset) and print them.
+* ``repro claims`` — evaluate the headline claims (the EXPERIMENTS.md table).
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.report import alias_report_markdown
+from repro.core.pipeline import run_alias_resolution
+from repro.experiments import runner
+from repro.experiments.scenario import PaperScenario, ScenarioConfig
+from repro.io.datasets import load_observations, save_alias_sets, save_observations
+from repro.sources.records import ObservationDataset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Protocol-centric alias resolution and dual-stack inference (IMC 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scan = subparsers.add_parser("scan", help="simulate the Internet and run the measurement campaigns")
+    scan.add_argument("--scale", type=float, default=0.5, help="topology scale factor (default 0.5)")
+    scan.add_argument("--seed", type=int, default=42, help="scenario seed (default 42)")
+    scan.add_argument("--output", type=Path, required=True, help="directory for the observation datasets")
+    scan.add_argument(
+        "--sources",
+        nargs="+",
+        choices=["active", "censys"],
+        default=["active", "censys"],
+        help="which data sources to collect",
+    )
+
+    resolve = subparsers.add_parser("resolve", help="run alias resolution over observation datasets")
+    resolve.add_argument("datasets", nargs="+", type=Path, help="observation JSONL files")
+    resolve.add_argument("--output", type=Path, required=True, help="directory for alias sets and report")
+    resolve.add_argument("--name", default="resolved", help="name of the combined dataset")
+
+    experiments = subparsers.add_parser("experiments", help="regenerate the paper's tables and figures")
+    experiments.add_argument("--scale", type=float, default=1.0)
+    experiments.add_argument("--seed", type=int, default=42)
+    experiments.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiments, e.g. table3 figure5 (default: all)",
+    )
+
+    claims = subparsers.add_parser("claims", help="evaluate the paper's headline claims")
+    claims.add_argument("--scale", type=float, default=1.0)
+    claims.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _command_scan(args: argparse.Namespace) -> int:
+    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
+    args.output.mkdir(parents=True, exist_ok=True)
+    written = []
+    if "active" in args.sources:
+        active = ObservationDataset("active", list(scenario.active_ipv4) + list(scenario.active_ipv6))
+        path = args.output / "active.jsonl"
+        save_observations(active, path)
+        written.append((path, len(active)))
+    if "censys" in args.sources:
+        path = args.output / "censys.jsonl"
+        save_observations(scenario.censys_ipv4, path)
+        written.append((path, len(scenario.censys_ipv4)))
+    for path, count in written:
+        print(f"wrote {path} ({count} observations)")
+    return 0
+
+
+def _command_resolve(args: argparse.Namespace) -> int:
+    observations = []
+    for path in args.datasets:
+        dataset = load_observations(path)
+        observations.extend(dataset)
+        print(f"loaded {path} ({len(dataset)} observations)")
+    report = run_alias_resolution(observations, name=args.name)
+    args.output.mkdir(parents=True, exist_ok=True)
+    save_alias_sets(report.ipv4_union, args.output / "ipv4_alias_sets.json")
+    save_alias_sets(report.ipv6_union, args.output / "ipv6_alias_sets.json")
+    (args.output / "report.md").write_text(alias_report_markdown(report))
+    print(f"IPv4 non-singleton alias sets: {len(report.ipv4_union.non_singleton())}")
+    print(f"IPv6 non-singleton alias sets: {len(report.ipv6_union.non_singleton())}")
+    print(f"dual-stack sets: {len(report.dual_stack_union)}")
+    print(f"wrote {args.output / 'ipv4_alias_sets.json'}")
+    print(f"wrote {args.output / 'ipv6_alias_sets.json'}")
+    print(f"wrote {args.output / 'report.md'}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
+    rendered = runner.run_all(scenario)
+    selected = args.only if args.only else list(rendered)
+    unknown = [name for name in selected if name not in rendered]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in selected:
+        print(f"=== {name}")
+        print(rendered[name])
+        print()
+    return 0
+
+
+def _command_claims(args: argparse.Namespace) -> int:
+    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
+    failed = 0
+    for claim in runner.headline_claims(scenario):
+        status = "OK  " if claim.holds else "FAIL"
+        print(f"[{status}] {claim.identifier}: {claim.description}")
+        print(f"       paper: {claim.paper}")
+        print(f"       repro: {claim.measured}")
+        if not claim.holds:
+            failed += 1
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "scan": _command_scan,
+    "resolve": _command_resolve,
+    "experiments": _command_experiments,
+    "claims": _command_claims,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

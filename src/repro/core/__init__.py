@@ -1,0 +1,51 @@
+"""Core contribution: protocol-centric alias resolution and dual-stack inference.
+
+This package implements the paper's technique proper:
+
+* :mod:`repro.core.identifiers` — turn a service observation into a
+  host-wide identifier (SSH banner + algorithm capabilities + host key;
+  BGP OPEN fields; SNMPv3 engine ID).
+* :mod:`repro.core.aliasset` — alias-set data structures.
+* :mod:`repro.core.alias_resolution` — group addresses by identifier and
+  union the per-protocol results.
+* :mod:`repro.core.dual_stack` — merge IPv4 and IPv6 groups sharing an
+  identifier into dual-stack sets.
+* :mod:`repro.core.validation` — cross-protocol and cross-technique
+  partition comparison.
+* :mod:`repro.core.pipeline` — the one-call API producing everything the
+  paper's evaluation reports.
+"""
+
+from repro.core.alias_resolution import AliasResolver
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.core.dual_stack import DualStackCollection, DualStackSet, infer_dual_stack, union_dual_stack
+from repro.core.identifiers import (
+    DeviceIdentifier,
+    IdentifierOptions,
+    bgp_identifier,
+    extract_identifier,
+    snmp_identifier,
+    ssh_identifier,
+)
+from repro.core.pipeline import AliasReport, run_alias_resolution
+from repro.core.validation import ValidationResult, cross_validate
+
+__all__ = [
+    "AliasResolver",
+    "AliasSet",
+    "AliasSetCollection",
+    "DualStackCollection",
+    "DualStackSet",
+    "infer_dual_stack",
+    "union_dual_stack",
+    "DeviceIdentifier",
+    "IdentifierOptions",
+    "bgp_identifier",
+    "extract_identifier",
+    "snmp_identifier",
+    "ssh_identifier",
+    "AliasReport",
+    "run_alias_resolution",
+    "ValidationResult",
+    "cross_validate",
+]

@@ -1,0 +1,139 @@
+"""Grouping observations into alias sets, and the cross-protocol union.
+
+The grouping step is deliberately simple — that is the point of the paper:
+once a host-wide identifier is available, alias resolution is a group-by.
+The union step merges per-protocol collections with a union-find over shared
+addresses, reproducing how the paper consolidates SSH, BGP and SNMPv3 into
+one set of alias sets (3% of addresses respond to more than one service and
+act as bridges).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
+from repro.net.addresses import AddressFamily
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, left, right) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root != right_root:
+            self._parent[right_root] = left_root
+
+
+class AliasResolver:
+    """Groups observations into alias sets by host-wide identifier."""
+
+    def __init__(self, options: IdentifierOptions = DEFAULT_OPTIONS) -> None:
+        self._options = options
+
+    @property
+    def options(self) -> IdentifierOptions:
+        """The identifier construction options in use."""
+        return self._options
+
+    def group(
+        self,
+        observations: Iterable[Observation],
+        protocol: ServiceType | None = None,
+        family: AddressFamily | None = None,
+        name: str | None = None,
+    ) -> AliasSetCollection:
+        """Group observations sharing an identifier into alias sets.
+
+        Args:
+            observations: the observations to group.
+            protocol: restrict to one protocol (otherwise each observation is
+                grouped under its own protocol's identifier).
+            family: restrict to one address family.
+            name: collection name (defaults to the protocol value).
+
+        Observations without identifier material are ignored — they are
+        "responsive" but contribute nothing to alias resolution.
+        """
+        by_identifier: dict = defaultdict(set)
+        protocols_by_identifier: dict = defaultdict(set)
+        address_asn: dict[str, int] = {}
+        for observation in observations:
+            if protocol is not None and observation.protocol is not protocol:
+                continue
+            if family is not None and observation.family is not family:
+                continue
+            identifier = extract_identifier(observation, self._options)
+            if identifier is None:
+                continue
+            key = (identifier.protocol, identifier.value)
+            by_identifier[key].add(observation.address)
+            protocols_by_identifier[key].add(observation.protocol)
+            if observation.asn is not None:
+                address_asn[observation.address] = observation.asn
+        collection_name = name or (protocol.value if protocol is not None else "all-protocols")
+        collection = AliasSetCollection(collection_name, address_asn=address_asn)
+        for key, addresses in by_identifier.items():
+            _, value = key
+            collection.add(
+                AliasSet(
+                    identifier=value,
+                    addresses=frozenset(addresses),
+                    protocols=frozenset(protocols_by_identifier[key]),
+                )
+            )
+        return collection
+
+    @staticmethod
+    def union(
+        collections: Iterable[AliasSetCollection], name: str = "union"
+    ) -> AliasSetCollection:
+        """Union several collections, merging sets that share an address.
+
+        Addresses responsive to multiple protocols bridge their per-protocol
+        sets into one combined set; sets with no overlap are kept as-is.
+        """
+        union_find = _UnionFind()
+        contributing: list[AliasSet] = []
+        address_asn: dict[str, int] = {}
+        for collection in collections:
+            address_asn.update(collection.address_asn)
+            for alias_set in collection:
+                contributing.append(alias_set)
+                addresses = sorted(alias_set.addresses)
+                for address in addresses[1:]:
+                    union_find.union(addresses[0], address)
+        # Merge members and protocols per connected component.
+        members: dict = defaultdict(set)
+        protocols: dict = defaultdict(set)
+        for alias_set in contributing:
+            if not alias_set.addresses:
+                continue
+            root = union_find.find(sorted(alias_set.addresses)[0])
+            members[root] |= alias_set.addresses
+            protocols[root] |= alias_set.protocols
+        result = AliasSetCollection(name, address_asn=address_asn)
+        for index, root in enumerate(sorted(members)):
+            result.add(
+                AliasSet(
+                    identifier=f"union:{index}",
+                    addresses=frozenset(members[root]),
+                    protocols=frozenset(protocols[root]),
+                )
+            )
+        return result

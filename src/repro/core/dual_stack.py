@@ -1,0 +1,209 @@
+"""Dual-stack inference.
+
+A dual-stack set is a group of at least one IPv4 and one IPv6 address that
+share the same host-wide identifier — the same device answering over both
+families.  The paper's headline result is that SSH and BGP identify roughly
+thirty times more dual-stack sets than the SNMPv3 baseline alone, because
+far more IPv6-reachable hosts expose SSH than SNMPv3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.core.aliasset import AliasSetCollection
+from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
+from repro.simnet.device import ServiceType
+from repro.net.addresses import AddressFamily
+from repro.sources.records import Observation
+
+
+@dataclasses.dataclass(frozen=True)
+class DualStackSet:
+    """One inferred dual-stack set."""
+
+    identifier: str
+    ipv4_addresses: frozenset[str]
+    ipv6_addresses: frozenset[str]
+    protocols: frozenset[ServiceType]
+
+    @property
+    def size(self) -> int:
+        """Total number of addresses (both families)."""
+        return len(self.ipv4_addresses) + len(self.ipv6_addresses)
+
+    @property
+    def is_one_to_one(self) -> bool:
+        """Whether the set pairs exactly one IPv4 with one IPv6 address."""
+        return len(self.ipv4_addresses) == 1 and len(self.ipv6_addresses) == 1
+
+
+class DualStackCollection:
+    """A named collection of dual-stack sets."""
+
+    def __init__(self, name: str, sets: Iterable[DualStackSet] = (), address_asn: dict[str, int] | None = None) -> None:
+        self.name = name
+        self._sets = list(sets)
+        self._address_asn = dict(address_asn or {})
+
+    def __iter__(self) -> Iterator[DualStackSet]:
+        return iter(self._sets)
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    @property
+    def sets(self) -> list[DualStackSet]:
+        """All dual-stack sets."""
+        return list(self._sets)
+
+    @property
+    def address_asn(self) -> dict[str, int]:
+        """Mapping from address to originating ASN."""
+        return dict(self._address_asn)
+
+    def add(self, dual_set: DualStackSet) -> None:
+        """Append one set."""
+        self._sets.append(dual_set)
+
+    def ipv4_addresses(self) -> set[str]:
+        """Every IPv4 address covered by a dual-stack set."""
+        covered: set[str] = set()
+        for dual_set in self._sets:
+            covered |= dual_set.ipv4_addresses
+        return covered
+
+    def ipv6_addresses(self) -> set[str]:
+        """Every IPv6 address covered by a dual-stack set."""
+        covered: set[str] = set()
+        for dual_set in self._sets:
+            covered |= dual_set.ipv6_addresses
+        return covered
+
+    def one_to_one_fraction(self) -> float:
+        """Fraction of sets pairing exactly one IPv4 with one IPv6 address."""
+        if not self._sets:
+            return 0.0
+        return sum(1 for dual_set in self._sets if dual_set.is_one_to_one) / len(self._sets)
+
+    def size_fractions(self) -> dict[str, float]:
+        """Fractions of sets by total size bucket (1+1, 2-10, >10 addresses)."""
+        if not self._sets:
+            return {"1+1": 0.0, "2-10": 0.0, ">10": 0.0}
+        one_to_one = sum(1 for s in self._sets if s.is_one_to_one)
+        medium = sum(1 for s in self._sets if not s.is_one_to_one and s.size <= 10)
+        large = len(self._sets) - one_to_one - medium
+        total = len(self._sets)
+        return {"1+1": one_to_one / total, "2-10": medium / total, ">10": large / total}
+
+    def sets_per_asn(self) -> dict[int, int]:
+        """Number of dual-stack sets attributed to each AS."""
+        counts: dict[int, int] = defaultdict(int)
+        for dual_set in self._sets:
+            asns = {
+                self._address_asn[address]
+                for address in dual_set.ipv4_addresses | dual_set.ipv6_addresses
+                if address in self._address_asn
+            }
+            for asn in asns:
+                counts[asn] += 1
+        return dict(counts)
+
+    def top_asns(self, count: int = 10) -> list[tuple[int, int]]:
+        """The ``count`` ASes with the most dual-stack sets."""
+        return sorted(self.sets_per_asn().items(), key=lambda item: (-item[1], item[0]))[:count]
+
+
+def infer_dual_stack(
+    observations: Iterable[Observation],
+    protocol: ServiceType | None = None,
+    options: IdentifierOptions = DEFAULT_OPTIONS,
+    name: str | None = None,
+) -> DualStackCollection:
+    """Group IPv4 and IPv6 observations by identifier and keep mixed groups."""
+    ipv4_members: dict = defaultdict(set)
+    ipv6_members: dict = defaultdict(set)
+    protocols_by_key: dict = defaultdict(set)
+    address_asn: dict[str, int] = {}
+    for observation in observations:
+        if protocol is not None and observation.protocol is not protocol:
+            continue
+        identifier = extract_identifier(observation, options)
+        if identifier is None:
+            continue
+        key = (identifier.protocol, identifier.value)
+        if observation.family is AddressFamily.IPV4:
+            ipv4_members[key].add(observation.address)
+        else:
+            ipv6_members[key].add(observation.address)
+        protocols_by_key[key].add(observation.protocol)
+        if observation.asn is not None:
+            address_asn[observation.address] = observation.asn
+    collection = DualStackCollection(
+        name or (protocol.value if protocol else "all-protocols"), address_asn=address_asn
+    )
+    for key in ipv4_members:
+        if key not in ipv6_members:
+            continue
+        _, value = key
+        collection.add(
+            DualStackSet(
+                identifier=value,
+                ipv4_addresses=frozenset(ipv4_members[key]),
+                ipv6_addresses=frozenset(ipv6_members[key]),
+                protocols=frozenset(protocols_by_key[key]),
+            )
+        )
+    return collection
+
+
+def union_dual_stack(
+    collections: Iterable[DualStackCollection], name: str = "union"
+) -> DualStackCollection:
+    """Union dual-stack collections, merging sets that share any address."""
+    parent: dict[str, str] = {}
+
+    def find(address: str) -> str:
+        root = parent.setdefault(address, address)
+        if root == address:
+            return address
+        resolved = find(root)
+        parent[address] = resolved
+        return resolved
+
+    def union(left: str, right: str) -> None:
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[right_root] = left_root
+
+    contributing: list[DualStackSet] = []
+    address_asn: dict[str, int] = {}
+    for collection in collections:
+        address_asn.update(collection.address_asn)
+        for dual_set in collection:
+            contributing.append(dual_set)
+            addresses = sorted(dual_set.ipv4_addresses | dual_set.ipv6_addresses)
+            for address in addresses[1:]:
+                union(addresses[0], address)
+    ipv4_members: dict = defaultdict(set)
+    ipv6_members: dict = defaultdict(set)
+    protocols_by_root: dict = defaultdict(set)
+    for dual_set in contributing:
+        addresses = sorted(dual_set.ipv4_addresses | dual_set.ipv6_addresses)
+        root = find(addresses[0])
+        ipv4_members[root] |= dual_set.ipv4_addresses
+        ipv6_members[root] |= dual_set.ipv6_addresses
+        protocols_by_root[root] |= dual_set.protocols
+    result = DualStackCollection(name, address_asn=address_asn)
+    for index, root in enumerate(sorted(ipv4_members)):
+        result.add(
+            DualStackSet(
+                identifier=f"union:{index}",
+                ipv4_addresses=frozenset(ipv4_members[root]),
+                ipv6_addresses=frozenset(ipv6_members[root]),
+                protocols=frozenset(protocols_by_root[root]),
+            )
+        )
+    return result

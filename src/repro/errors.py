@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Protocol parsing errors, scanning errors, and
+simulation errors each have their own subclass to make failure handling in
+pipelines explicit.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message could not be parsed or built."""
+
+
+class TruncatedMessageError(ProtocolError):
+    """A protocol message ended before all required fields were read."""
+
+
+class MalformedMessageError(ProtocolError):
+    """A protocol message violates its specification."""
+
+
+class ScanError(ReproError):
+    """A scanning operation failed in a way that is not a normal timeout."""
+
+
+class SimulationError(ReproError):
+    """The simulated Internet was asked to do something inconsistent."""
+
+
+class TopologyError(SimulationError):
+    """Topology generation parameters are inconsistent or exhausted."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or record could not be read or written."""
+
+
+class ValidationError(ReproError):
+    """Alias-set validation was given incomparable inputs."""

@@ -1,0 +1,66 @@
+"""Figure 6 — ECDF of the number of alias / dual-stack sets per AS.
+
+The paper observes that more than 37k ASes hold at least one set, that the
+majority of ASes have fewer than 100 sets, and that only about 3% of ASes
+have more.  The reproduction computes the same distribution over the
+simulated AS population.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.aslevel import sets_per_as_values
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.tables import render_table
+from repro.experiments.scenario import PaperScenario
+
+
+@dataclasses.dataclass
+class Figure6Result:
+    """Distributions of sets per AS for alias sets and dual-stack sets."""
+
+    alias_sets_per_as: Ecdf
+    dual_stack_sets_per_as: Ecdf
+    ases_with_alias_sets: int
+    ases_with_dual_stack_sets: int
+    fraction_ases_over_hundred: float
+
+
+def build(scenario: PaperScenario) -> Figure6Result:
+    """Build Figure 6 from the union report."""
+    report = scenario.report("union")
+    alias_values = sets_per_as_values(report.ipv4_union)
+    dual_values = sets_per_as_values(report.dual_stack_union)
+    alias_ecdf = Ecdf(alias_values)
+    over_hundred = sum(1 for value in alias_values if value > 100)
+    return Figure6Result(
+        alias_sets_per_as=alias_ecdf,
+        dual_stack_sets_per_as=Ecdf(dual_values),
+        ases_with_alias_sets=len(alias_values),
+        ases_with_dual_stack_sets=len(dual_values),
+        fraction_ases_over_hundred=over_hundred / len(alias_values) if alias_values else 0.0,
+    )
+
+
+def render(result: Figure6Result) -> str:
+    """Render the Figure 6 summary as text."""
+    rows = [
+        [
+            "Alias sets",
+            result.ases_with_alias_sets,
+            f"{100 * result.alias_sets_per_as.evaluate(100):.1f}%" if len(result.alias_sets_per_as) else "0.0%",
+            f"{100 * result.fraction_ases_over_hundred:.1f}%",
+        ],
+        [
+            "Dual-stack sets",
+            result.ases_with_dual_stack_sets,
+            f"{100 * result.dual_stack_sets_per_as.evaluate(100):.1f}%" if len(result.dual_stack_sets_per_as) else "0.0%",
+            "-",
+        ],
+    ]
+    return render_table(
+        ["Distribution", "ASes with >= 1 set", "ASes with <= 100 sets", "ASes with > 100 sets"],
+        rows,
+        title="Figure 6: Sets per AS (ECDF checkpoints)",
+    )

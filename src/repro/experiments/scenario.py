@@ -1,0 +1,197 @@
+"""The shared evaluation scenario.
+
+Building a :class:`PaperScenario` performs the reproduction's equivalent of
+the paper's data collection:
+
+1. generate the simulated Internet (cloud providers, ISPs, enterprises),
+2. run the active measurement from a single vantage point — IPv4
+   Internet-wide for SSH/BGP/SNMPv3 and IPv6 over a hitlist,
+3. take a Censys-like snapshot (distributed vantage points, IPv4, SSH+BGP,
+   three weeks earlier), and
+4. run alias resolution and dual-stack inference over the active data, the
+   Censys data, and their union.
+
+All of it is deterministic in the scenario config, and the result object is
+cached per config so the ten experiment drivers and the benchmark harness
+share one build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.core.pipeline import AliasReport, run_alias_resolution
+from repro.net.addresses import AddressFamily
+from repro.simnet.network import SimulatedInternet, VantagePoint
+from repro.simnet.topology import TopologyConfig, generate_topology
+from repro.sources.active import ActiveMeasurement
+from repro.sources.censys import CensysSource
+from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
+from repro.sources.merge import filter_standard_ports, merge_datasets
+from repro.sources.records import ObservationDataset
+
+#: Simulated duration between the Censys snapshot and the active scan
+#: (the paper pairs an April 18 active scan with a March 28 snapshot).
+CENSYS_SNAPSHOT_LEAD = 21 * 86400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioConfig:
+    """Configuration of the evaluation scenario.
+
+    ``scale`` multiplies the device counts of the default paper topology;
+    1.0 gives a few tens of thousands of addresses, which reproduces every
+    distributional result at laptop scale.
+    """
+
+    scale: float = 1.0
+    seed: int = 42
+    loss_rate: float = 0.01
+    hitlist_server_coverage: float = 0.8
+    hitlist_router_coverage: float = 0.4
+    censys_miss_rate: float = 0.12
+
+    def topology_config(self) -> TopologyConfig:
+        """The topology configuration implied by this scenario config."""
+        config = TopologyConfig(seed=self.seed, scale=self.scale)
+        config.loss_rate = self.loss_rate
+        return config
+
+
+class PaperScenario:
+    """Lazily-built container for everything the experiments need."""
+
+    def __init__(self, config: ScenarioConfig | None = None) -> None:
+        self.config = config or ScenarioConfig()
+        self._network: SimulatedInternet | None = None
+        self._active_ipv4: ObservationDataset | None = None
+        self._active_ipv6: ObservationDataset | None = None
+        self._censys_ipv4: ObservationDataset | None = None
+        self._censys_ipv6: ObservationDataset | None = None
+        self._hitlist: list[str] | None = None
+        self._reports: dict[str, AliasReport] = {}
+
+    # ------------------------------------------------------------------ #
+    # Data collection
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> SimulatedInternet:
+        """The simulated Internet under measurement."""
+        if self._network is None:
+            self._network = generate_topology(self.config.topology_config())
+        return self._network
+
+    @property
+    def hitlist(self) -> list[str]:
+        """The IPv6 hitlist used by the active IPv6 scan."""
+        if self._hitlist is None:
+            self._hitlist = build_ipv6_hitlist(
+                self.network,
+                HitlistConfig(
+                    server_coverage=self.config.hitlist_server_coverage,
+                    router_coverage=self.config.hitlist_router_coverage,
+                    seed=self.config.seed,
+                ),
+            )
+        return self._hitlist
+
+    @property
+    def active_vantage(self) -> VantagePoint:
+        """The single vantage point of the active measurement."""
+        return VantagePoint(name="active-de", address="192.0.2.250")
+
+    @property
+    def active_ipv4(self) -> ObservationDataset:
+        """Active measurement, IPv4 Internet-wide scan."""
+        if self._active_ipv4 is None:
+            campaign = ActiveMeasurement(
+                self.network, vantage=self.active_vantage, seed=self.config.seed
+            )
+            self._active_ipv4 = campaign.run_ipv4(start_time=CENSYS_SNAPSHOT_LEAD)
+        return self._active_ipv4
+
+    @property
+    def active_ipv6(self) -> ObservationDataset:
+        """Active measurement, IPv6 hitlist scan."""
+        if self._active_ipv6 is None:
+            campaign = ActiveMeasurement(
+                self.network, vantage=self.active_vantage, seed=self.config.seed + 1
+            )
+            self._active_ipv6 = campaign.run_ipv6(
+                self.hitlist, start_time=CENSYS_SNAPSHOT_LEAD + 86400.0
+            )
+        return self._active_ipv6
+
+    @property
+    def censys_ipv4(self) -> ObservationDataset:
+        """Censys-like snapshot, IPv4 (SSH and BGP only)."""
+        if self._censys_ipv4 is None:
+            source = CensysSource(
+                self.network,
+                miss_rate=self.config.censys_miss_rate,
+                snapshot_time=0.0,
+                seed=self.config.seed + 2,
+            )
+            self._censys_ipv4 = source.snapshot_ipv4()
+        return self._censys_ipv4
+
+    @property
+    def censys_ipv6(self) -> ObservationDataset:
+        """Censys-like snapshot, IPv6 (negligible, non-standard ports)."""
+        if self._censys_ipv6 is None:
+            source = CensysSource(self.network, snapshot_time=0.0, seed=self.config.seed + 3)
+            self._censys_ipv6 = source.snapshot_ipv6()
+        return self._censys_ipv6
+
+    @property
+    def union_ipv4(self) -> ObservationDataset:
+        """Union of the active and Censys IPv4 datasets (default-port only)."""
+        return merge_datasets(self.active_ipv4, self.censys_ipv4, name="union")
+
+    @property
+    def censys_ipv4_standard(self) -> ObservationDataset:
+        """Censys IPv4 data restricted to default ports (paper methodology)."""
+        return filter_standard_ports(self.censys_ipv4)
+
+    # ------------------------------------------------------------------ #
+    # Alias resolution reports
+    # ------------------------------------------------------------------ #
+    def report(self, source: str) -> AliasReport:
+        """Alias-resolution report for ``source``: active, censys, or union.
+
+        The IPv6 observations always come from the active measurement (the
+        Censys IPv6 snapshot is excluded, as in the paper).
+        """
+        if source not in self._reports:
+            if source == "active":
+                observations = list(self.active_ipv4) + list(self.active_ipv6)
+            elif source == "censys":
+                observations = list(self.censys_ipv4_standard)
+            elif source == "union":
+                observations = list(self.union_ipv4) + list(self.active_ipv6)
+            else:
+                raise ValueError(f"unknown source {source!r}")
+            self._reports[source] = run_alias_resolution(observations, name=source)
+        return self._reports[source]
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def dataset_for(self, source: str, family: AddressFamily) -> ObservationDataset:
+        """The observation dataset for a (source, family) pair."""
+        if family is AddressFamily.IPV6:
+            if source == "censys":
+                return self.censys_ipv6
+            return self.active_ipv6
+        if source == "active":
+            return self.active_ipv4
+        if source == "censys":
+            return self.censys_ipv4_standard
+        return self.union_ipv4
+
+
+@functools.lru_cache(maxsize=4)
+def paper_scenario(scale: float = 1.0, seed: int = 42) -> PaperScenario:
+    """A cached scenario — the shared input of benchmarks and examples."""
+    return PaperScenario(ScenarioConfig(scale=scale, seed=seed))

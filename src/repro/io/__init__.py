@@ -1,0 +1,23 @@
+"""Dataset persistence.
+
+The paper publishes its scan data and analysis; this package provides the
+equivalent serialisation for the reproduction: observations as JSON-lines
+files and alias/dual-stack sets as JSON documents.
+"""
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.datasets import (
+    load_alias_sets,
+    load_observations,
+    save_alias_sets,
+    save_observations,
+)
+
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "load_alias_sets",
+    "load_observations",
+    "save_alias_sets",
+    "save_observations",
+]

@@ -1,0 +1,99 @@
+"""Serialisation of observations and alias sets.
+
+Observations round-trip through JSON-lines; alias-set and dual-stack
+collections are stored as single JSON documents (the natural shape for a
+published analysis artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.errors import DatasetError
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation, ObservationDataset
+
+
+def observation_to_dict(observation: Observation) -> dict:
+    """Convert an observation to a JSON-serialisable dict."""
+    return {
+        "address": observation.address,
+        "protocol": observation.protocol.value,
+        "source": observation.source,
+        "port": observation.port,
+        "timestamp": observation.timestamp,
+        "asn": observation.asn,
+        "fields": observation.fields_dict(),
+    }
+
+
+def observation_from_dict(record: dict) -> Observation:
+    """Rebuild an observation from its dict form."""
+    try:
+        return Observation(
+            address=record["address"],
+            protocol=ServiceType(record["protocol"]),
+            source=record["source"],
+            port=int(record["port"]),
+            timestamp=float(record.get("timestamp", 0.0)),
+            asn=record.get("asn"),
+            fields=tuple(sorted((str(k), str(v)) for k, v in record.get("fields", {}).items())),
+        )
+    except (KeyError, ValueError) as exc:
+        raise DatasetError(f"malformed observation record: {record!r}") from exc
+
+
+def save_observations(dataset: ObservationDataset, path: str | Path) -> int:
+    """Write a dataset to a JSON-lines file; returns the record count."""
+    return write_jsonl(path, (observation_to_dict(observation) for observation in dataset))
+
+
+def load_observations(path: str | Path, name: str | None = None) -> ObservationDataset:
+    """Load a dataset from a JSON-lines file."""
+    observations = [observation_from_dict(record) for record in read_jsonl(path)]
+    return ObservationDataset(name or Path(path).stem, observations)
+
+
+def save_alias_sets(collection: AliasSetCollection, path: str | Path) -> None:
+    """Write an alias-set collection to a JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "name": collection.name,
+        "address_asn": collection.address_asn,
+        "sets": [
+            {
+                "identifier": alias_set.identifier,
+                "addresses": sorted(alias_set.addresses),
+                "protocols": sorted(protocol.value for protocol in alias_set.protocols),
+            }
+            for alias_set in collection
+        ],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def load_alias_sets(path: str | Path) -> AliasSetCollection:
+    """Load an alias-set collection from a JSON document."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"alias-set file {path} does not exist")
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        collection = AliasSetCollection(
+            document["name"], address_asn={k: int(v) for k, v in document.get("address_asn", {}).items()}
+        )
+        for entry in document["sets"]:
+            collection.add(
+                AliasSet(
+                    identifier=entry["identifier"],
+                    addresses=frozenset(entry["addresses"]),
+                    protocols=frozenset(ServiceType(value) for value in entry.get("protocols", [])),
+                )
+            )
+        return collection
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise DatasetError(f"malformed alias-set document {path}") from exc

@@ -1,0 +1,49 @@
+"""JSON-lines helpers.
+
+Scan datasets are append-friendly streams of records, so JSON-lines is the
+natural on-disk format (it is also what ZGrab2 and Censys exports use).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import DatasetError
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> int:
+    """Write ``records`` to ``path``, one JSON object per line.
+
+    Returns the number of records written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield one dict per non-empty line of ``path``.
+
+    Raises:
+        DatasetError: if the file does not exist or a line is not valid JSON.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file {path} does not exist")
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{line_number}: invalid JSON") from exc

@@ -1,0 +1,101 @@
+"""Connection abstraction between scanning clients and servers.
+
+Protocol scanning clients (:mod:`repro.protocols.ssh.client`,
+:mod:`repro.protocols.bgp.client`, :mod:`repro.protocols.snmp.client`) are
+written against the small :class:`Connection` interface.  In unit tests they
+are wired directly to a :class:`ServerBehavior` through a
+:class:`LoopbackConnection`; in full campaigns the simulated Internet
+(:mod:`repro.simnet.network`) provides connections whose behaviour is driven
+by the device and service configuration reached by the probed address.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScanError
+
+
+class ConnectionClosed(ScanError):
+    """Raised when reading from or writing to a closed connection."""
+
+
+class ServerBehavior:
+    """The server side of an application-layer exchange.
+
+    A behaviour is instantiated per connection.  ``on_connect`` returns the
+    bytes the server sends immediately after the TCP handshake (e.g. the SSH
+    banner, or a BGP OPEN + NOTIFICATION).  ``on_data`` is called whenever
+    the client sends data and returns the server's reply bytes.  When
+    ``closed`` becomes true, the server has closed the connection and no
+    further reads will succeed.
+    """
+
+    def on_connect(self) -> bytes:
+        """Bytes sent unsolicited right after the handshake (may be empty)."""
+        return b""
+
+    def on_data(self, data: bytes) -> bytes:
+        """Bytes sent in response to client ``data`` (may be empty)."""
+        return b""
+
+    @property
+    def closed(self) -> bool:
+        """Whether the server has closed the connection."""
+        return False
+
+
+class Connection:
+    """A byte-stream connection from the scanner's point of view."""
+
+    def send(self, data: bytes) -> None:
+        """Send ``data`` to the peer."""
+        raise NotImplementedError
+
+    def receive(self, timeout: float = 2.0) -> bytes:
+        """Return bytes currently available from the peer (may be empty)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Close the connection."""
+        raise NotImplementedError
+
+    @property
+    def peer_closed(self) -> bool:
+        """Whether the peer has closed its side of the connection."""
+        raise NotImplementedError
+
+
+class LoopbackConnection(Connection):
+    """An in-memory connection wired directly to a :class:`ServerBehavior`.
+
+    The server's unsolicited ``on_connect`` bytes are buffered immediately;
+    client writes are passed to ``on_data`` and the reply buffered for the
+    next :meth:`receive`.
+    """
+
+    def __init__(self, behavior: ServerBehavior) -> None:
+        self._behavior = behavior
+        self._buffer = bytearray(behavior.on_connect())
+        self._closed = False
+
+    def send(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosed("connection is closed")
+        if self._behavior.closed:
+            # Writing to a peer-closed connection is silently dropped, which
+            # mirrors what a scanner observes before noticing the FIN.
+            return
+        self._buffer.extend(self._behavior.on_data(data))
+
+    def receive(self, timeout: float = 2.0) -> bytes:
+        if self._closed:
+            raise ConnectionClosed("connection is closed")
+        data = bytes(self._buffer)
+        self._buffer.clear()
+        return data
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def peer_closed(self) -> bool:
+        return self._behavior.closed and not self._buffer

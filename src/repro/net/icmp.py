@@ -1,0 +1,50 @@
+"""ICMP message model.
+
+Only the two messages used by the alias-resolution baselines are modelled:
+echo replies (for IPID sampling with ICMP probes) and destination unreachable
+/ port unreachable (for the common source address technique, iffinder).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class IcmpType(enum.Enum):
+    """ICMP message types used in the simulation."""
+
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+PORT_UNREACHABLE_CODE = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP message as observed by a prober.
+
+    Attributes:
+        icmp_type: ICMP type.
+        code: ICMP code (3 = port unreachable under destination unreachable).
+        source: source address of the ICMP packet.  Routers may source the
+            message from a different interface than the probed one — this is
+            exactly the signal iffinder exploits.
+        quoted_destination: the destination address quoted in the embedded
+            original datagram, i.e. the address that was probed.
+        ipid: IP identification field of the ICMP packet itself.
+    """
+
+    icmp_type: IcmpType
+    code: int
+    source: str
+    quoted_destination: str | None = None
+    ipid: int | None = None
+
+    @property
+    def is_port_unreachable(self) -> bool:
+        """True when this is a destination-unreachable/port-unreachable."""
+        return self.icmp_type is IcmpType.DEST_UNREACHABLE and self.code == PORT_UNREACHABLE_CODE

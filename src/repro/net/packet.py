@@ -1,0 +1,78 @@
+"""Probe and response packet models.
+
+The scanner and the IPID-based baselines communicate with the simulated
+Internet through small packet descriptions rather than raw bytes: a probe
+names the target, the transport, and the destination port, and the response
+carries what the alias-resolution techniques actually consume (TCP flags,
+ICMP type/code, source address, and the IPID value of the response).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class ProbeType(enum.Enum):
+    """Kind of probe sent toward a target address."""
+
+    TCP_SYN = "tcp_syn"
+    TCP_ACK = "tcp_ack"
+    UDP = "udp"
+    ICMP_ECHO = "icmp_echo"
+
+
+class ResponseType(enum.Enum):
+    """Kind of response elicited by a probe."""
+
+    TCP_SYNACK = "tcp_synack"
+    TCP_RST = "tcp_rst"
+    ICMP_ECHO_REPLY = "icmp_echo_reply"
+    ICMP_PORT_UNREACHABLE = "icmp_port_unreachable"
+    NO_RESPONSE = "no_response"
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbePacket:
+    """A single probe sent by a vantage point.
+
+    Attributes:
+        target: destination address (canonical string form).
+        probe_type: transport-level kind of probe.
+        dport: destination port (ignored for ICMP echo).
+        source: source address of the vantage point.
+        timestamp: send time in seconds (simulation clock).
+    """
+
+    target: str
+    probe_type: ProbeType
+    dport: int = 0
+    source: str = "192.0.2.250"
+    timestamp: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponsePacket:
+    """The response (or absence of one) observed for a probe.
+
+    Attributes:
+        probe: the probe that elicited this response.
+        response_type: what came back.
+        source: source address of the response packet.  For the common
+            source address technique (iffinder) this may differ from the
+            probed address.
+        ipid: the IP identification field of the response packet, used by the
+            IPID-based baselines.  ``None`` when no response was received.
+        timestamp: receive time in seconds (simulation clock).
+    """
+
+    probe: ProbePacket
+    response_type: ResponseType
+    source: str | None = None
+    ipid: int | None = None
+    timestamp: float = 0.0
+
+    @property
+    def responded(self) -> bool:
+        """Whether any packet came back."""
+        return self.response_type is not ResponseType.NO_RESPONSE

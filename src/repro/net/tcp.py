@@ -1,0 +1,81 @@
+"""Simplified TCP handshake model.
+
+The alias-resolution technique in the paper only ever needs the very first
+step of TCP: complete the three-way handshake and then read whatever the
+application sends (BGP) or exchange a few cleartext messages (SSH).  We model
+exactly that surface: a segment with flags, and a per-service policy deciding
+whether a SYN receives a SYN-ACK, a RST, or silence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class TcpFlags(enum.Flag):
+    """TCP flag bits used by the handshake model."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+class TcpPolicy(enum.Enum):
+    """How a device responds to a SYN on a given port."""
+
+    ACCEPT = "accept"          # SYN -> SYN-ACK, connection established
+    RESET = "reset"            # SYN -> RST, port closed
+    DROP = "drop"              # SYN silently dropped (firewall)
+
+
+@dataclasses.dataclass(frozen=True)
+class TcpSegment:
+    """A minimal TCP segment."""
+
+    source: str
+    destination: str
+    sport: int
+    dport: int
+    flags: TcpFlags
+    seq: int = 0
+    ack: int = 0
+    payload: bytes = b""
+
+    @property
+    def is_syn(self) -> bool:
+        """True for a bare SYN (no ACK)."""
+        return TcpFlags.SYN in self.flags and TcpFlags.ACK not in self.flags
+
+
+def handshake_response(segment: TcpSegment, policy: TcpPolicy) -> TcpSegment | None:
+    """Return the device's reply segment to an incoming SYN.
+
+    Args:
+        segment: the incoming segment; only SYNs elicit a reply.
+        policy: the port's policy.
+
+    Returns:
+        A SYN-ACK segment, a RST segment, or ``None`` when the SYN is dropped
+        or the incoming segment is not a SYN.
+    """
+    if not segment.is_syn:
+        return None
+    if policy is TcpPolicy.DROP:
+        return None
+    if policy is TcpPolicy.RESET:
+        flags = TcpFlags.RST | TcpFlags.ACK
+    else:
+        flags = TcpFlags.SYN | TcpFlags.ACK
+    return TcpSegment(
+        source=segment.destination,
+        destination=segment.source,
+        sport=segment.dport,
+        dport=segment.sport,
+        flags=flags,
+        seq=0,
+        ack=segment.seq + 1,
+    )

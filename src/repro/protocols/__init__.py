@@ -1,0 +1,16 @@
+"""Application-layer protocol implementations.
+
+Each sub-package implements the minimal but real wire-format surface that the
+paper's measurement technique touches:
+
+* :mod:`repro.protocols.ssh` — RFC 4253 transport layer: version banner,
+  binary packet framing, KEXINIT algorithm negotiation, host key blobs.
+* :mod:`repro.protocols.bgp` — RFC 4271 OPEN / NOTIFICATION / KEEPALIVE
+  messages and RFC 5492 capabilities.
+* :mod:`repro.protocols.snmp` — a minimal BER codec and the SNMPv3 engine
+  discovery exchange (RFC 3412/3414) used by the SNMPv3 baseline.
+
+The packages are self-contained: builders produce bytes, parsers consume
+bytes, and the simulated servers and scanning clients are written purely in
+terms of those messages.
+"""

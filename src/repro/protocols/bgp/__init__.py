@@ -1,0 +1,40 @@
+"""BGP-4 protocol (RFC 4271) — the session-establishment surface.
+
+The paper's BGP scan completes the TCP handshake on port 179 and waits up to
+two seconds.  A subset of BGP speakers respond with an unsolicited OPEN
+message followed by a NOTIFICATION (Cease / Connection Rejected) before
+closing.  The OPEN message carries the BGP Identifier, ASN, hold time,
+version and optional capabilities — together a host-wide unique identifier.
+
+* :mod:`repro.protocols.bgp.messages` — wire formats for the message types.
+* :mod:`repro.protocols.bgp.capabilities` — RFC 5492 capability encoding.
+* :mod:`repro.protocols.bgp.speaker` — configurable simulated BGP speaker.
+* :mod:`repro.protocols.bgp.client` — the scanning client producing
+  :class:`~repro.protocols.bgp.client.BgpScanRecord`.
+"""
+
+from repro.protocols.bgp.capabilities import Capability, CapabilityCode
+from repro.protocols.bgp.client import BgpScanClient, BgpScanRecord
+from repro.protocols.bgp.messages import (
+    BgpKeepalive,
+    BgpMessageType,
+    BgpNotification,
+    BgpOpen,
+    parse_messages,
+)
+from repro.protocols.bgp.speaker import BgpSpeakerBehavior, BgpSpeakerConfig, BgpSpeakerStyle
+
+__all__ = [
+    "Capability",
+    "CapabilityCode",
+    "BgpScanClient",
+    "BgpScanRecord",
+    "BgpOpen",
+    "BgpNotification",
+    "BgpKeepalive",
+    "BgpMessageType",
+    "parse_messages",
+    "BgpSpeakerBehavior",
+    "BgpSpeakerConfig",
+    "BgpSpeakerStyle",
+]

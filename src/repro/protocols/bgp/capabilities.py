@@ -1,0 +1,116 @@
+"""BGP capabilities advertisement (RFC 5492).
+
+Capabilities travel inside the OPEN message's optional parameters field as
+``(parameter type 2, length, [capability code, capability length, value])``
+triplets.  The set of advertised capabilities is part of the paper's BGP
+identifier because it is a property of the speaker's configuration, not of
+the interface the OPEN was elicited from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+
+from repro.errors import MalformedMessageError, TruncatedMessageError
+
+OPTIONAL_PARAMETER_CAPABILITY = 2
+
+
+class CapabilityCode(enum.IntEnum):
+    """Well-known capability codes used in the simulation."""
+
+    MULTIPROTOCOL = 1
+    ROUTE_REFRESH = 2
+    OUTBOUND_ROUTE_FILTERING = 3
+    EXTENDED_NEXT_HOP = 5
+    EXTENDED_MESSAGE = 6
+    GRACEFUL_RESTART = 64
+    FOUR_OCTET_AS = 65
+    ADD_PATH = 69
+    ENHANCED_ROUTE_REFRESH = 70
+    ROUTE_REFRESH_CISCO = 128
+
+
+@dataclasses.dataclass(frozen=True)
+class Capability:
+    """A single advertised capability (code plus opaque value bytes)."""
+
+    code: int
+    value: bytes = b""
+
+    def encode(self) -> bytes:
+        """Encode as ``code, length, value``."""
+        if len(self.value) > 255:
+            raise MalformedMessageError("capability value longer than 255 bytes")
+        return struct.pack("BB", self.code, len(self.value)) + self.value
+
+    @classmethod
+    def multiprotocol(cls, afi: int, safi: int) -> "Capability":
+        """Multiprotocol extensions capability (RFC 4760)."""
+        return cls(code=CapabilityCode.MULTIPROTOCOL, value=struct.pack(">HBB", afi, 0, safi))
+
+    @classmethod
+    def route_refresh(cls) -> "Capability":
+        return cls(code=CapabilityCode.ROUTE_REFRESH)
+
+    @classmethod
+    def route_refresh_cisco(cls) -> "Capability":
+        return cls(code=CapabilityCode.ROUTE_REFRESH_CISCO)
+
+    @classmethod
+    def four_octet_as(cls, asn: int) -> "Capability":
+        """Support for four-octet AS numbers, carrying the real ASN."""
+        return cls(code=CapabilityCode.FOUR_OCTET_AS, value=struct.pack(">I", asn))
+
+    @property
+    def four_octet_asn(self) -> int | None:
+        """The ASN carried by a FOUR_OCTET_AS capability, else ``None``."""
+        if self.code == CapabilityCode.FOUR_OCTET_AS and len(self.value) == 4:
+            return struct.unpack(">I", self.value)[0]
+        return None
+
+
+def encode_optional_parameters(capabilities: list[Capability]) -> bytes:
+    """Encode capabilities as OPEN optional parameters.
+
+    Each capability is wrapped in its own optional parameter, which is what
+    most real implementations (and the paper's Figure 2 example) do.
+    """
+    encoded = b""
+    for capability in capabilities:
+        body = capability.encode()
+        encoded += struct.pack("BB", OPTIONAL_PARAMETER_CAPABILITY, len(body)) + body
+    return encoded
+
+
+def parse_optional_parameters(data: bytes) -> list[Capability]:
+    """Parse the optional parameters blob of an OPEN message.
+
+    Non-capability parameters are skipped; truncated data raises.
+    """
+    capabilities: list[Capability] = []
+    offset = 0
+    while offset < len(data):
+        if offset + 2 > len(data):
+            raise TruncatedMessageError("optional parameter header truncated")
+        parameter_type, parameter_length = data[offset], data[offset + 1]
+        offset += 2
+        if offset + parameter_length > len(data):
+            raise TruncatedMessageError("optional parameter body truncated")
+        body = data[offset : offset + parameter_length]
+        offset += parameter_length
+        if parameter_type != OPTIONAL_PARAMETER_CAPABILITY:
+            continue
+        inner = 0
+        while inner < len(body):
+            if inner + 2 > len(body):
+                raise TruncatedMessageError("capability header truncated")
+            code, length = body[inner], body[inner + 1]
+            inner += 2
+            if inner + length > len(body):
+                raise TruncatedMessageError("capability value truncated")
+            capabilities.append(Capability(code=code, value=body[inner : inner + length]))
+            inner += length
+    return capabilities

@@ -1,0 +1,70 @@
+"""BGP scanning client.
+
+The client completes the TCP handshake (already done by the time it holds a
+:class:`~repro.net.endpoint.Connection`), waits for up to the configured
+timeout, parses whatever the speaker volunteered, and closes.  It never sends
+any BGP data itself, mirroring the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.net.endpoint import Connection
+from repro.protocols.bgp.messages import BgpNotification, BgpOpen, parse_messages
+
+
+@dataclasses.dataclass(frozen=True)
+class BgpScanRecord:
+    """The result of one BGP service scan against one address.
+
+    Attributes:
+        address: the scanned address.
+        port: TCP port (179 unless stated otherwise).
+        success: whether the TCP connection was established.
+        open_message: the OPEN message, if one was received.
+        notification: the NOTIFICATION message, if one was received.
+        closed_immediately: whether the speaker closed without sending data.
+    """
+
+    address: str
+    port: int = 179
+    success: bool = False
+    open_message: BgpOpen | None = None
+    notification: BgpNotification | None = None
+    closed_immediately: bool = False
+
+    @property
+    def has_identifier(self) -> bool:
+        """Whether an OPEN message (and thus a BGP identifier) was observed."""
+        return self.open_message is not None
+
+
+class BgpScanClient:
+    """Reads unsolicited BGP messages from a freshly established connection."""
+
+    def __init__(self, timeout: float = 2.0) -> None:
+        self._timeout = timeout
+
+    def scan(self, address: str, connection: Connection, port: int = 179) -> BgpScanRecord:
+        """Scan ``address`` over ``connection`` and return the record."""
+        data = connection.receive(timeout=self._timeout)
+        closed = connection.peer_closed and not data
+        connection.close()
+
+        open_message: BgpOpen | None = None
+        notification: BgpNotification | None = None
+        for message in parse_messages(data):
+            if isinstance(message, BgpOpen) and open_message is None:
+                open_message = message
+            elif isinstance(message, BgpNotification) and notification is None:
+                notification = message
+
+        return BgpScanRecord(
+            address=address,
+            port=port,
+            success=True,
+            open_message=open_message,
+            notification=notification,
+            closed_immediately=closed,
+        )

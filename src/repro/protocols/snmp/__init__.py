@@ -1,0 +1,34 @@
+"""SNMPv3 engine discovery — the baseline protocol-centric technique.
+
+The SNMPv3 technique (Albakour et al., IMC 2021, "Third Time's Not a Charm")
+sends an unauthenticated GET request with an empty authoritative engine ID.
+The agent replies with a REPORT PDU that discloses its engine ID, engine
+boots and engine time — values that are engine-wide, i.e. shared by every
+interface of the device.  The paper under reproduction uses this technique
+both as a complement and as the baseline to beat.
+
+* :mod:`repro.protocols.snmp.ber` — a minimal BER (ASN.1) encoder/decoder.
+* :mod:`repro.protocols.snmp.engine_id` — RFC 3411 engine ID formats.
+* :mod:`repro.protocols.snmp.v3` — SNMPv3 message build/parse for the
+  discovery exchange.
+* :mod:`repro.protocols.snmp.engine` — configurable simulated agent.
+* :mod:`repro.protocols.snmp.client` — the scanning client producing
+  :class:`~repro.protocols.snmp.client.SnmpScanRecord`.
+"""
+
+from repro.protocols.snmp.client import SnmpScanClient, SnmpScanRecord
+from repro.protocols.snmp.engine import SnmpEngineBehavior, SnmpEngineConfig
+from repro.protocols.snmp.engine_id import EngineId, EngineIdFormat
+from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_request, build_discovery_report
+
+__all__ = [
+    "SnmpScanClient",
+    "SnmpScanRecord",
+    "SnmpEngineBehavior",
+    "SnmpEngineConfig",
+    "EngineId",
+    "EngineIdFormat",
+    "SnmpV3Message",
+    "build_discovery_request",
+    "build_discovery_report",
+]

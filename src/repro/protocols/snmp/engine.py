@@ -1,0 +1,71 @@
+"""Configurable simulated SNMPv3 agent.
+
+The agent answers engine-discovery requests with a REPORT disclosing its
+engine ID, boots and time.  Engine ID and boots are device-wide; engine time
+advances with the simulation clock.  SNMP runs over UDP in reality; within
+the simulation the exchange is modelled as a request/response pair over the
+same :class:`~repro.net.endpoint.ServerBehavior` interface used for TCP
+services, with the understanding that "connect" carries no data and the
+request arrives via ``on_data``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ProtocolError
+from repro.net.endpoint import ServerBehavior
+from repro.protocols.snmp.engine_id import EngineId
+from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_report
+
+
+@dataclasses.dataclass(frozen=True)
+class SnmpEngineConfig:
+    """Device-wide SNMPv3 configuration.
+
+    Attributes:
+        engine_id: the authoritative engine ID.
+        engine_boots: number of times the engine rebooted since configuration.
+        engine_time_base: engine time at simulation time zero (seconds).
+        responds: whether the agent answers discovery at all (ACLs may
+            silently drop the request).
+    """
+
+    engine_id: EngineId
+    engine_boots: int = 3
+    engine_time_base: int = 1_000_000
+    responds: bool = True
+
+    @classmethod
+    def generate(cls, seed: str, engine_boots: int = 3) -> "SnmpEngineConfig":
+        """Create a config with an engine ID derived from ``seed``."""
+        return cls(engine_id=EngineId.generate(seed), engine_boots=engine_boots)
+
+
+class SnmpEngineBehavior(ServerBehavior):
+    """Per-exchange behaviour of a simulated SNMPv3 agent."""
+
+    def __init__(self, config: SnmpEngineConfig, now: float = 0.0) -> None:
+        self._config = config
+        self._now = now
+
+    def on_connect(self) -> bytes:
+        return b""
+
+    def on_data(self, data: bytes) -> bytes:
+        if not self._config.responds:
+            return b""
+        try:
+            request = SnmpV3Message.parse(data)
+        except ProtocolError:
+            return b""
+        return build_discovery_report(
+            msg_id=request.msg_id,
+            engine_id=self._config.engine_id,
+            engine_boots=self._config.engine_boots,
+            engine_time=self._config.engine_time_base + int(self._now),
+        )
+
+    @property
+    def closed(self) -> bool:
+        return False

@@ -1,0 +1,39 @@
+"""SSH transport-layer protocol (RFC 4253) — the surface used for scanning.
+
+The scan in the paper (ZGrab2's SSH module) completes the TCP handshake,
+exchanges version banners, exchanges KEXINIT messages, and reads the key
+exchange reply that carries the server host key.  It never derives session
+keys.  This package implements exactly that slice:
+
+* :mod:`repro.protocols.ssh.wire` — RFC 4251 data types (string, name-list,
+  uint32, mpint) and binary packet framing.
+* :mod:`repro.protocols.ssh.banner` — the ``SSH-2.0-...`` identification line.
+* :mod:`repro.protocols.ssh.kex` — SSH_MSG_KEXINIT build/parse.
+* :mod:`repro.protocols.ssh.hostkey` — host public key blobs and fingerprints.
+* :mod:`repro.protocols.ssh.messages` — the ECDH key exchange reply message.
+* :mod:`repro.protocols.ssh.server` — a configurable simulated SSH server.
+* :mod:`repro.protocols.ssh.client` — the scanning client producing
+  :class:`~repro.protocols.ssh.client.SshScanRecord`.
+"""
+
+from repro.protocols.ssh.banner import SshBanner
+from repro.protocols.ssh.client import SshScanClient, SshScanRecord
+from repro.protocols.ssh.hostkey import EcdsaHostKey, Ed25519HostKey, HostKey, RsaHostKey, parse_host_key_blob
+from repro.protocols.ssh.kex import KexInit
+from repro.protocols.ssh.messages import KexEcdhReply
+from repro.protocols.ssh.server import SshServerBehavior, SshServerConfig
+
+__all__ = [
+    "SshBanner",
+    "SshScanClient",
+    "SshScanRecord",
+    "HostKey",
+    "Ed25519HostKey",
+    "RsaHostKey",
+    "EcdsaHostKey",
+    "parse_host_key_blob",
+    "KexInit",
+    "KexEcdhReply",
+    "SshServerBehavior",
+    "SshServerConfig",
+]

@@ -1,0 +1,71 @@
+"""SSH identification string ("banner") handling.
+
+RFC 4253 section 4.2: once the TCP connection is up, both sides send an
+identification string of the form ``SSH-protoversion-softwareversion SP
+comments CR LF``.  The banner is the first component of the paper's SSH host
+identifier, because it captures the server implementation and version.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import MalformedMessageError
+
+MAX_BANNER_LENGTH = 255
+
+
+@dataclasses.dataclass(frozen=True)
+class SshBanner:
+    """A parsed SSH identification string.
+
+    Attributes:
+        protoversion: protocol version, ``"2.0"`` for every modern server.
+        softwareversion: implementation identifier, e.g. ``"OpenSSH_8.9p1"``.
+        comments: optional trailing comment, e.g. ``"Ubuntu-3ubuntu0.1"``.
+    """
+
+    protoversion: str = "2.0"
+    softwareversion: str = "OpenSSH_8.9p1"
+    comments: str = ""
+
+    def render(self) -> str:
+        """Render the banner line without the trailing CRLF."""
+        line = f"SSH-{self.protoversion}-{self.softwareversion}"
+        if self.comments:
+            line = f"{line} {self.comments}"
+        return line
+
+    def render_wire(self) -> bytes:
+        """Render the banner as sent on the wire (with CRLF)."""
+        return (self.render() + "\r\n").encode("ascii")
+
+    @classmethod
+    def parse(cls, line: str | bytes) -> "SshBanner":
+        """Parse a banner line (CR/LF and surrounding whitespace tolerated).
+
+        Raises:
+            MalformedMessageError: if the line does not start with ``SSH-`` or
+                lacks a software version.
+        """
+        if isinstance(line, bytes):
+            try:
+                line = line.decode("ascii", errors="strict")
+            except UnicodeDecodeError as exc:
+                raise MalformedMessageError("banner is not ASCII") from exc
+        line = line.strip("\r\n ")
+        if len(line) > MAX_BANNER_LENGTH:
+            raise MalformedMessageError("banner exceeds 255 characters")
+        if not line.startswith("SSH-"):
+            raise MalformedMessageError(f"not an SSH banner: {line!r}")
+        body = line[len("SSH-") :]
+        if "-" not in body:
+            raise MalformedMessageError(f"banner lacks software version: {line!r}")
+        protoversion, rest = body.split("-", 1)
+        if " " in rest:
+            softwareversion, comments = rest.split(" ", 1)
+        else:
+            softwareversion, comments = rest, ""
+        if not softwareversion:
+            raise MalformedMessageError(f"banner lacks software version: {line!r}")
+        return cls(protoversion=protoversion, softwareversion=softwareversion, comments=comments)

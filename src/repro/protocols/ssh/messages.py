@@ -1,0 +1,84 @@
+"""Key exchange reply message carrying the server host key.
+
+ZGrab2 sends a client KEXINIT and an ECDH init so that the server replies
+with SSH_MSG_KEX_ECDH_REPLY (message code 31), whose first field is the
+server host public key blob.  The scan stops there — no shared secret is
+ever derived — so the ephemeral public key and the signature in this message
+are synthetic placeholders with correct framing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.errors import MalformedMessageError
+from repro.protocols.ssh.wire import SshReader, SshWriter
+
+SSH_MSG_KEX_ECDH_INIT = 30
+SSH_MSG_KEX_ECDH_REPLY = 31
+
+
+@dataclasses.dataclass(frozen=True)
+class KexEcdhInit:
+    """Client's ephemeral public key message (SSH_MSG_KEX_ECDH_INIT)."""
+
+    client_ephemeral: bytes = b"\x00" * 32
+
+    def build(self) -> bytes:
+        writer = SshWriter()
+        writer.write_byte(SSH_MSG_KEX_ECDH_INIT)
+        writer.write_string(self.client_ephemeral)
+        return writer.getvalue()
+
+    @classmethod
+    def parse(cls, payload: bytes) -> "KexEcdhInit":
+        reader = SshReader(payload)
+        code = reader.read_byte()
+        if code != SSH_MSG_KEX_ECDH_INIT:
+            raise MalformedMessageError(f"expected KEX_ECDH_INIT (30), got {code}")
+        return cls(client_ephemeral=reader.read_string())
+
+
+@dataclasses.dataclass(frozen=True)
+class KexEcdhReply:
+    """Server's key exchange reply (SSH_MSG_KEX_ECDH_REPLY).
+
+    Attributes:
+        host_key_blob: the server public host key blob — the part the paper's
+            identifier uses.
+        server_ephemeral: the server's ephemeral ECDH public key.
+        signature: the exchange-hash signature blob.
+    """
+
+    host_key_blob: bytes
+    server_ephemeral: bytes = b"\x00" * 32
+    signature: bytes = b""
+
+    def build(self) -> bytes:
+        writer = SshWriter()
+        writer.write_byte(SSH_MSG_KEX_ECDH_REPLY)
+        writer.write_string(self.host_key_blob)
+        writer.write_string(self.server_ephemeral)
+        writer.write_string(self.signature)
+        return writer.getvalue()
+
+    @classmethod
+    def parse(cls, payload: bytes) -> "KexEcdhReply":
+        reader = SshReader(payload)
+        code = reader.read_byte()
+        if code != SSH_MSG_KEX_ECDH_REPLY:
+            raise MalformedMessageError(f"expected KEX_ECDH_REPLY (31), got {code}")
+        host_key_blob = reader.read_string()
+        server_ephemeral = reader.read_string()
+        signature = reader.read_string()
+        return cls(host_key_blob=host_key_blob, server_ephemeral=server_ephemeral, signature=signature)
+
+    @classmethod
+    def for_host_key(cls, host_key_blob: bytes, seed: str = "") -> "KexEcdhReply":
+        """Build a reply with deterministic synthetic ephemeral key and signature."""
+        ephemeral = hashlib.sha256(f"ephemeral:{seed}".encode()).digest()
+        signature_writer = SshWriter()
+        signature_writer.write_string(b"ssh-ed25519")
+        signature_writer.write_string(hashlib.sha512(f"sig:{seed}".encode()).digest())
+        return cls(host_key_blob=host_key_blob, server_ephemeral=ephemeral, signature=signature_writer.getvalue())

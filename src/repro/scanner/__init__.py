@@ -1,0 +1,33 @@
+"""Scanning substrate: the ZMap / ZGrab2 equivalents.
+
+The paper's measurement is a two-phase scan: an Internet-wide TCP SYN scan
+(ZMap) on ports 22 and 179, followed by an application-layer grab (ZGrab2)
+against the responsive addresses.  This package reproduces that pipeline
+against the simulated Internet:
+
+* :mod:`repro.scanner.permutation` — ZMap-style cyclic-group address
+  permutation, so probes are spread over the target space.
+* :mod:`repro.scanner.blocklist` — CIDR blocklist honouring opt-outs.
+* :mod:`repro.scanner.ratelimit` — token-bucket pacing of probes.
+* :mod:`repro.scanner.zmap` — phase 1: TCP liveness scanning.
+* :mod:`repro.scanner.zgrab` — phase 2: application-layer banner grabs.
+* :mod:`repro.scanner.campaign` — the two-phase campaign orchestration.
+"""
+
+from repro.scanner.blocklist import Blocklist
+from repro.scanner.campaign import ScanCampaign, ServiceScanResult
+from repro.scanner.permutation import CyclicPermutation
+from repro.scanner.ratelimit import TokenBucket
+from repro.scanner.zgrab import ZgrabScanner
+from repro.scanner.zmap import SynScanResult, ZmapScanner
+
+__all__ = [
+    "Blocklist",
+    "ScanCampaign",
+    "ServiceScanResult",
+    "CyclicPermutation",
+    "TokenBucket",
+    "ZgrabScanner",
+    "SynScanResult",
+    "ZmapScanner",
+]

@@ -1,0 +1,110 @@
+"""ZMap-style cyclic-group target permutation.
+
+ZMap iterates the IPv4 space in a pseudorandom order by walking a cyclic
+multiplicative group modulo a prime, which spreads probes across networks so
+that no destination network sees a burst.  The paper relies on the same
+property for its ethics statement ("we randomly distribute our measurements
+over the address space … at most one packet reaches a target IP each
+second").  :class:`CyclicPermutation` provides that ordering for an arbitrary
+list of targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+def _is_prime(candidate: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit integers."""
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for prime in small_primes:
+        if candidate % prime == 0:
+            return candidate == prime
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in small_primes:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(value: int) -> int:
+    """Smallest prime strictly greater than ``value``."""
+    candidate = value + 1
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class CyclicPermutation:
+    """Pseudorandom permutation of ``range(n)`` via a cyclic group.
+
+    The permutation walks ``x -> (x * generator) mod p`` where ``p`` is the
+    smallest prime greater than ``n``; indices ``>= n`` produced by the walk
+    are skipped.  The full walk visits every index in ``range(n)`` exactly
+    once, just like ZMap's address iteration.
+
+    Args:
+        n: size of the index space (must be positive).
+        seed: selects the generator and the starting point.
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("permutation size must be positive")
+        self._n = n
+        self._prime = next_prime(max(n, 2))
+        # 3 is a safe default multiplier; derive a per-seed odd multiplier and
+        # make sure it is a unit mod p (p is prime so any 1 < g < p works).
+        self._generator = 2 + (seed * 2 + 1) % (self._prime - 3) if self._prime > 3 else 2
+        self._start = 1 + seed % (self._prime - 1)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def indices(self) -> Iterator[int]:
+        """Yield every index in ``range(n)`` exactly once, pseudorandomly."""
+        value = self._start
+        emitted = 0
+        while emitted < self._n:
+            if value - 1 < self._n:
+                yield value - 1
+                emitted += 1
+            value = (value * self._generator) % self._prime
+            if value == self._start and emitted < self._n:
+                # The generator's cycle did not cover the group (it was not a
+                # primitive root).  Fall back to a linear sweep of whatever
+                # has not been emitted; correctness beats elegance here.
+                yield from self._linear_fallback()
+                return
+
+    def _linear_fallback(self) -> Iterator[int]:
+        seen = set()
+        value = self._start
+        while True:
+            if value - 1 < self._n:
+                seen.add(value - 1)
+            value = (value * self._generator) % self._prime
+            if value == self._start:
+                break
+        for index in range(self._n):
+            if index not in seen:
+                yield index
+
+    def order(self, items: Sequence) -> list:
+        """Return ``items`` reordered by the permutation."""
+        if len(items) != self._n:
+            raise ValueError("items length does not match permutation size")
+        return [items[index] for index in self.indices()]

@@ -1,0 +1,49 @@
+"""Probe pacing.
+
+The simulation does not sleep, but probe timestamps matter: they drive the
+simulation clock seen by IPID counters, churn, and engine time.  The token
+bucket computes, for a configured probe rate, the simulated send time of the
+``i``-th probe, and the same abstraction can be used to burst-limit grabs.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A token bucket that assigns timestamps to a stream of probes.
+
+    Args:
+        rate: tokens (probes) per second.
+        burst: bucket capacity; the first ``burst`` probes share timestamp
+            ``start_time``.
+        start_time: simulation time of the first probe.
+    """
+
+    def __init__(self, rate: float, burst: int = 1, start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self._rate = rate
+        self._burst = burst
+        self._start_time = start_time
+        self._sent = 0
+
+    @property
+    def sent(self) -> int:
+        """Number of probes timestamped so far."""
+        return self._sent
+
+    def next_timestamp(self) -> float:
+        """Return the send time of the next probe and consume a token."""
+        index = self._sent
+        self._sent += 1
+        if index < self._burst:
+            return self._start_time
+        return self._start_time + (index - self._burst + 1) / self._rate
+
+    def duration(self, count: int) -> float:
+        """Simulated duration of sending ``count`` probes at this rate."""
+        if count <= self._burst:
+            return 0.0
+        return (count - self._burst) / self._rate

@@ -1,0 +1,66 @@
+"""Phase 2: application-layer grabs (the ZGrab2 equivalent).
+
+For every address that answered the SYN scan, the grabber opens a connection
+through the simulated Internet and drives the protocol-specific scanning
+client (SSH handshake, BGP listen, SNMPv3 engine discovery).  The result is a
+list of protocol scan records, which the data-source layer turns into
+normalised observations.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.bgp.client import BgpScanClient, BgpScanRecord
+from repro.protocols.snmp.client import SnmpScanClient, SnmpScanRecord
+from repro.protocols.ssh.client import SshScanClient, SshScanRecord
+from repro.scanner.ratelimit import TokenBucket
+from repro.simnet.device import ServiceType
+from repro.simnet.network import SimulatedInternet, VantagePoint
+
+ScanRecord = SshScanRecord | BgpScanRecord | SnmpScanRecord
+
+
+class ZgrabScanner:
+    """Application-layer scanner against a :class:`SimulatedInternet`."""
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        vantage: VantagePoint,
+        grabs_per_second: float = 2_000.0,
+    ) -> None:
+        self._network = network
+        self._vantage = vantage
+        self._rate = grabs_per_second
+        self._ssh_client = SshScanClient()
+        self._bgp_client = BgpScanClient()
+        self._snmp_client = SnmpScanClient()
+
+    def grab(
+        self, service: ServiceType, addresses: list[str], start_time: float = 0.0
+    ) -> list[ScanRecord]:
+        """Grab ``service`` banners from ``addresses``; returns one record per answer.
+
+        Addresses whose connection attempt fails (filtered, lost, rate
+        limited, or simply not running the service) produce no record, which
+        matches how ZGrab2 output only contains hosts it could talk to.
+        """
+        bucket = TokenBucket(rate=self._rate, start_time=start_time)
+        records: list[ScanRecord] = []
+        for address in addresses:
+            timestamp = bucket.next_timestamp()
+            connection = self._network.connect(address, service, self._vantage, now=timestamp)
+            if connection is None:
+                continue
+            if service is ServiceType.SSH:
+                record: ScanRecord = self._ssh_client.scan(address, connection)
+            elif service is ServiceType.BGP:
+                record = self._bgp_client.scan(address, connection)
+            else:
+                record = self._snmp_client.scan(address, connection)
+            if record.success:
+                records.append(record)
+        return records
+
+    def duration(self, count: int) -> float:
+        """Simulated duration of grabbing ``count`` addresses."""
+        return TokenBucket(rate=self._rate).duration(count)

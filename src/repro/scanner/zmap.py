@@ -1,0 +1,89 @@
+"""Phase 1: TCP liveness scanning (the ZMap equivalent).
+
+The scanner walks the target list in cyclic-permutation order, paces probes
+with a token bucket, skips blocklisted targets, and records which addresses
+answered with a SYN-ACK.  The output feeds the application-layer grab of
+phase 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.scanner.blocklist import Blocklist
+from repro.scanner.permutation import CyclicPermutation
+from repro.scanner.ratelimit import TokenBucket
+from repro.simnet.network import ProbeOutcome, SimulatedInternet, VantagePoint
+
+
+@dataclasses.dataclass(frozen=True)
+class SynScanResult:
+    """Outcome of one SYN scan over a target list.
+
+    Attributes:
+        port: scanned TCP port.
+        responsive: addresses that answered with a SYN-ACK, in probe order.
+        probed: number of probes actually sent (blocklisted targets excluded).
+        outcomes: per-outcome counters (responsive / closed / filtered / …).
+        started_at: simulation time of the first probe.
+        finished_at: simulation time of the last probe.
+    """
+
+    port: int
+    responsive: tuple[str, ...]
+    probed: int
+    outcomes: dict[ProbeOutcome, int]
+    started_at: float
+    finished_at: float
+
+
+class ZmapScanner:
+    """Stateless SYN scanner against a :class:`SimulatedInternet`."""
+
+    def __init__(
+        self,
+        network: SimulatedInternet,
+        vantage: VantagePoint,
+        probes_per_second: float = 10_000.0,
+        blocklist: Blocklist | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._network = network
+        self._vantage = vantage
+        self._rate = probes_per_second
+        self._blocklist = blocklist or Blocklist()
+        self._seed = seed
+
+    def scan(self, targets: list[str], port: int, start_time: float = 0.0) -> SynScanResult:
+        """SYN-scan ``targets`` on ``port`` and return the responsive subset."""
+        allowed = self._blocklist.filter(targets)
+        if not allowed:
+            return SynScanResult(
+                port=port,
+                responsive=(),
+                probed=0,
+                outcomes={},
+                started_at=start_time,
+                finished_at=start_time,
+            )
+        permutation = CyclicPermutation(len(allowed), seed=self._seed)
+        bucket = TokenBucket(rate=self._rate, start_time=start_time)
+        responsive: list[str] = []
+        outcomes: dict[ProbeOutcome, int] = {}
+        finished_at = start_time
+        for index in permutation.indices():
+            target = allowed[index]
+            timestamp = bucket.next_timestamp()
+            finished_at = timestamp
+            outcome = self._network.probe_tcp_syn(target, port, self._vantage, now=timestamp)
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            if outcome is ProbeOutcome.RESPONSIVE:
+                responsive.append(target)
+        return SynScanResult(
+            port=port,
+            responsive=tuple(responsive),
+            probed=len(allowed),
+            outcomes=outcomes,
+            started_at=start_time,
+            finished_at=finished_at,
+        )

@@ -1,0 +1,43 @@
+"""Simulated Internet substrate.
+
+The paper measures the real Internet; this package provides the synthetic
+equivalent the reproduction scans.  It models:
+
+* autonomous systems with roles (cloud, ISP, enterprise, …) and address
+  space (:mod:`repro.simnet.asn`, :mod:`repro.simnet.address_plan`),
+* devices (routers, servers, CPE) with multiple IPv4/IPv6 interfaces and
+  host-wide service configurations (:mod:`repro.simnet.device`),
+* misconfigurations that stress the inference — shared factory SSH keys,
+  duplicate BGP identifiers, service ACLs (:mod:`repro.simnet.misconfig`),
+* address churn between measurement campaigns (:mod:`repro.simnet.churn`),
+* the probe-level behaviour of the whole network, including single-vantage
+  rate limiting (:mod:`repro.simnet.network`), and
+* the topology generator that builds a paper-like Internet from a config
+  (:mod:`repro.simnet.topology`).
+
+The inference code never reads the ground truth; it only sees wire-format
+responses, exactly like the real measurement.
+"""
+
+from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
+from repro.simnet.churn import ChurnEvent, ChurnModel
+from repro.simnet.device import Device, DeviceRole, Interface, ServiceType
+from repro.simnet.network import ProbeOutcome, SimulatedInternet, VantagePoint
+from repro.simnet.topology import TopologyConfig, generate_topology
+
+__all__ = [
+    "AsRegistry",
+    "AsRole",
+    "AutonomousSystem",
+    "ChurnEvent",
+    "ChurnModel",
+    "Device",
+    "DeviceRole",
+    "Interface",
+    "ServiceType",
+    "ProbeOutcome",
+    "SimulatedInternet",
+    "VantagePoint",
+    "TopologyConfig",
+    "generate_topology",
+]

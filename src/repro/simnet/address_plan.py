@@ -1,0 +1,93 @@
+"""Address space allocation for the simulated Internet.
+
+The allocator hands out IPv4 /16 blocks and IPv6 /32 blocks to ASes, and
+individual interface addresses inside those blocks to devices.  Addresses
+are purely synthetic: uniqueness and AS membership are what matters, not
+whether a block is globally routable in the real Internet.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+
+from repro.errors import TopologyError
+from repro.net.addresses import prefix_addresses, random_addresses_in_prefix
+
+#: First IPv4 /16 handed out (10.0.0.0/8 is carved into 256 /16 blocks, then
+#: 100.64.0.0/10 and further blocks if the topology is very large).
+_IPV4_POOLS = ["10.0.0.0/8", "100.64.0.0/10", "172.16.0.0/12"]
+_IPV6_POOL = "2a00::/12"
+
+
+class PrefixAllocator:
+    """Sequentially allocates AS-sized prefixes from fixed pools."""
+
+    def __init__(self, ipv4_block_prefixlen: int = 16, ipv6_block_prefixlen: int = 32) -> None:
+        self._ipv4_blocks = self._carve(_IPV4_POOLS, ipv4_block_prefixlen, version=4)
+        self._ipv6_blocks = self._carve([_IPV6_POOL], ipv6_block_prefixlen, version=6)
+
+    @staticmethod
+    def _carve(pools: list[str], prefixlen: int, version: int):
+        for pool in pools:
+            network = ipaddress.ip_network(pool)
+            if network.version != version:
+                raise TopologyError(f"pool {pool} is not IPv{version}")
+            yield from network.subnets(new_prefix=prefixlen)
+
+    def allocate_ipv4(self) -> str:
+        """Return the next unused IPv4 block as a CIDR string."""
+        try:
+            block = next(self._ipv4_blocks)
+        except StopIteration as exc:
+            raise TopologyError("IPv4 address pool exhausted") from exc
+        return str(block)
+
+    def allocate_ipv6(self) -> str:
+        """Return the next unused IPv6 block as a CIDR string."""
+        try:
+            block = next(self._ipv6_blocks)
+        except StopIteration as exc:
+            raise TopologyError("IPv6 address pool exhausted") from exc
+        return str(block)
+
+
+class InterfaceAddressPool:
+    """Draws distinct interface addresses from an AS's prefixes."""
+
+    def __init__(self, prefixes: list[str], rng: random.Random) -> None:
+        if not prefixes:
+            raise TopologyError("cannot draw addresses from an empty prefix list")
+        self._prefixes = list(prefixes)
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def draw(self, count: int = 1) -> list[str]:
+        """Return ``count`` addresses never handed out before by this pool."""
+        drawn: list[str] = []
+        attempts = 0
+        while len(drawn) < count:
+            attempts += 1
+            if attempts > count * 50:
+                raise TopologyError("address pool too small for the requested topology")
+            prefix = self._rng.choice(self._prefixes)
+            want = min(count - len(drawn), 64)
+            try:
+                batch = random_addresses_in_prefix(prefix, want, self._rng)
+            except ValueError:
+                # Prefix smaller than the requested batch: fall back to
+                # enumerating it; exhaustion is handled by the attempts cap.
+                batch = list(prefix_addresses(prefix, limit=256))
+                self._rng.shuffle(batch)
+            for address in batch:
+                if address not in self._used:
+                    self._used.add(address)
+                    drawn.append(address)
+                    if len(drawn) == count:
+                        break
+        return drawn
+
+    @property
+    def used_count(self) -> int:
+        """Number of addresses handed out so far."""
+        return len(self._used)

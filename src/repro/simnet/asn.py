@@ -1,0 +1,91 @@
+"""Autonomous system model and registry.
+
+ASes carry a role because the paper's AS-level analysis (Tables 5 and 6,
+Figures 5 and 6) hinges on role differences: SSH alias sets concentrate in
+cloud providers, BGP and SNMPv3 sets in ISPs, and BGP sets frequently span
+multiple ASes because border routers hold interfaces in neighbouring
+networks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import TopologyError
+
+
+class AsRole(enum.Enum):
+    """Coarse business role of an autonomous system."""
+
+    CLOUD = "cloud"
+    ISP = "isp"
+    ENTERPRISE = "enterprise"
+    EDUCATION = "education"
+    IXP = "ixp"
+
+
+@dataclasses.dataclass
+class AutonomousSystem:
+    """A single autonomous system.
+
+    Attributes:
+        asn: the AS number; values above 65535 exercise the BGP four-octet
+            AS capability path.
+        name: human-readable name used in reports.
+        role: business role.
+        ipv4_prefixes: IPv4 prefixes allocated to this AS (CIDR strings).
+        ipv6_prefixes: IPv6 prefixes allocated to this AS (CIDR strings).
+        rate_limit_threshold: number of probes from a single vantage point
+            after which an intrusion detection system starts dropping that
+            vantage point's probes; ``None`` disables rate limiting.
+    """
+
+    asn: int
+    name: str
+    role: AsRole
+    ipv4_prefixes: list[str] = dataclasses.field(default_factory=list)
+    ipv6_prefixes: list[str] = dataclasses.field(default_factory=list)
+    rate_limit_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise TopologyError(f"ASN must be positive, got {self.asn}")
+
+
+class AsRegistry:
+    """Registry of every AS in the simulated Internet."""
+
+    def __init__(self) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+
+    def add(self, autonomous_system: AutonomousSystem) -> AutonomousSystem:
+        """Register an AS; duplicate ASNs are rejected."""
+        if autonomous_system.asn in self._by_asn:
+            raise TopologyError(f"ASN {autonomous_system.asn} already registered")
+        self._by_asn[autonomous_system.asn] = autonomous_system
+        return autonomous_system
+
+    def get(self, asn: int) -> AutonomousSystem:
+        """Return the AS with the given ASN."""
+        try:
+            return self._by_asn[asn]
+        except KeyError as exc:
+            raise TopologyError(f"unknown ASN {asn}") from exc
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    def by_role(self, role: AsRole) -> list[AutonomousSystem]:
+        """Return every AS with the given role."""
+        return [autonomous_system for autonomous_system in self if autonomous_system.role is role]
+
+    def roles(self) -> dict[int, AsRole]:
+        """Return a mapping from ASN to role (used by the analysis layer)."""
+        return {autonomous_system.asn: autonomous_system.role for autonomous_system in self}

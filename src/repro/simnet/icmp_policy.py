@@ -1,0 +1,21 @@
+"""ICMP destination-unreachable sourcing policy.
+
+The earliest alias-resolution technique (iffinder / common source address)
+relies on routers that source ICMP port-unreachable messages from a single
+"primary" interface regardless of which address was probed.  The paper notes
+that this behaviour has become rare, which is why the technique is
+impractical today; the simulation models all three observed behaviours so
+the iffinder baseline has something realistic to work against.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IcmpUnreachablePolicy(enum.Enum):
+    """How a device sources ICMP port-unreachable replies."""
+
+    FROM_PROBED = "from_probed"      # reply sourced from the probed address (common)
+    FROM_PRIMARY = "from_primary"    # reply sourced from a fixed primary interface
+    SILENT = "silent"                # never sends ICMP errors

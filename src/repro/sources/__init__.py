@@ -1,0 +1,33 @@
+"""Measurement data sources.
+
+The paper combines two kinds of data: its own active measurements (single
+vantage point, ZMap + ZGrab2, IPv4 Internet-wide and IPv6 hitlist-based) and
+a Censys snapshot (distributed scanning organisation, IPv4 only in
+practice).  This package models both against the simulated Internet and
+normalises their output into protocol-agnostic observations:
+
+* :mod:`repro.sources.records` — the :class:`Observation` schema and
+  converters from protocol scan records.
+* :mod:`repro.sources.hitlist` — IPv6 hitlist construction (coverage-biased).
+* :mod:`repro.sources.active` — the active measurement campaign.
+* :mod:`repro.sources.censys` — the Censys-like snapshot.
+* :mod:`repro.sources.merge` — dataset union and port filtering.
+"""
+
+from repro.sources.active import ActiveMeasurement
+from repro.sources.censys import CensysSource
+from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
+from repro.sources.merge import filter_standard_ports, merge_datasets
+from repro.sources.records import Observation, ObservationDataset, observation_from_record
+
+__all__ = [
+    "ActiveMeasurement",
+    "CensysSource",
+    "HitlistConfig",
+    "build_ipv6_hitlist",
+    "filter_standard_ports",
+    "merge_datasets",
+    "Observation",
+    "ObservationDataset",
+    "observation_from_record",
+]

@@ -1,0 +1,63 @@
+"""IPv6 hitlist construction.
+
+The IPv6 address space cannot be enumerated; the paper seeds its IPv6 scans
+with a public hitlist (Gasser et al.) and explicitly notes that its IPv6
+coverage is limited by that hitlist.  The simulated hitlist reproduces the
+two properties that matter for the results:
+
+* it contains only part of the active IPv6 addresses (incompleteness), and
+* its coverage is biased toward content/cloud infrastructure — hitlists are
+  built from DNS, CT logs and similar sources, which see servers far more
+  often than router interfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.simnet.device import DeviceRole
+from repro.simnet.network import SimulatedInternet
+
+
+@dataclasses.dataclass(frozen=True)
+class HitlistConfig:
+    """Coverage of the synthetic IPv6 hitlist by device role."""
+
+    server_coverage: float = 0.8
+    router_coverage: float = 0.4
+    cpe_coverage: float = 0.15
+    noise_addresses: int = 200
+    seed: int = 0
+
+
+_ROUTER_ROLES = {DeviceRole.CORE_ROUTER, DeviceRole.BORDER_ROUTER, DeviceRole.ACCESS_ROUTER}
+
+
+def build_ipv6_hitlist(network: SimulatedInternet, config: HitlistConfig | None = None) -> list[str]:
+    """Build the IPv6 target list used by active IPv6 scans.
+
+    Returns a sorted list of IPv6 addresses: a role-biased subset of the
+    addresses that exist in the network plus a number of inactive "noise"
+    addresses that will never respond (hitlists always contain stale
+    entries).
+    """
+    config = config or HitlistConfig()
+    rng = random.Random(config.seed)
+    selected: set[str] = set()
+    for device in network.devices():
+        if device.role in _ROUTER_ROLES:
+            coverage = config.router_coverage
+        elif device.role is DeviceRole.CPE:
+            coverage = config.cpe_coverage
+        else:
+            coverage = config.server_coverage
+        for address in device.ipv6_addresses():
+            if rng.random() < coverage:
+                selected.add(address)
+    # Stale/noise entries live in 2001:db8::/32 (documentation space), which
+    # the topology allocator never uses, so they can never collide with real
+    # addresses and will simply never respond.
+    for index in range(config.noise_addresses):
+        selected.add(f"2001:db8:dead:{index // 65536:x}::{index % 65536:x}")
+    return sorted(selected)

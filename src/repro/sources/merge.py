@@ -1,0 +1,52 @@
+"""Dataset union and filtering.
+
+The paper works with three views of every protocol: the active data, the
+Censys data, and their union ("unless explicitly stated otherwise, we use
+the union of both data sources").  The union keeps one observation per
+(address, protocol) pair on the default port; when both sources saw the same
+pair, the observation with identifier material and, among those, the newer
+one wins — which mirrors preferring one's own fresher measurement over a
+snapshot while not discarding coverage.
+"""
+
+from __future__ import annotations
+
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation, ObservationDataset
+
+
+def filter_standard_ports(dataset: ObservationDataset) -> ObservationDataset:
+    """Drop observations taken on non-default ports (paper's methodology)."""
+    return dataset.filter(lambda observation: observation.is_standard_port())
+
+
+def merge_datasets(
+    *datasets: ObservationDataset,
+    name: str = "union",
+    protocols: tuple[ServiceType, ...] | None = None,
+) -> ObservationDataset:
+    """Union several datasets into one.
+
+    Only default-port observations participate.  For duplicate
+    (address, protocol) pairs the observation with identifier material wins;
+    ties are broken by the later timestamp.
+    """
+    best: dict[tuple[str, ServiceType], Observation] = {}
+    for dataset in datasets:
+        for observation in dataset:
+            if not observation.is_standard_port():
+                continue
+            if protocols is not None and observation.protocol not in protocols:
+                continue
+            key = (observation.address, observation.protocol)
+            current = best.get(key)
+            if current is None or _prefer(observation, current):
+                best[key] = observation
+    return ObservationDataset(name, best.values())
+
+
+def _prefer(candidate: Observation, incumbent: Observation) -> bool:
+    """Whether ``candidate`` should replace ``incumbent`` in the union."""
+    if candidate.has_identifier_material != incumbent.has_identifier_material:
+        return candidate.has_identifier_material
+    return candidate.timestamp > incumbent.timestamp

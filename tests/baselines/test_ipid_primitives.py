@@ -1,0 +1,81 @@
+"""Tests for the IPID time-series primitives and the monotonic bounds test."""
+
+from repro.baselines.ipid import IpidTimeSeries, TargetClass, classify_series, shared_counter_test
+
+
+def series_from(values, interval=1.0):
+    series = IpidTimeSeries(address="10.0.0.1")
+    for index, value in enumerate(values):
+        series.add(index * interval, value)
+    return series
+
+
+class TestTimeSeries:
+    def test_none_samples_skipped(self):
+        series = IpidTimeSeries(address="10.0.0.1")
+        series.add(0.0, 10)
+        series.add(1.0, None)
+        series.add(2.0, 12)
+        assert series.response_count == 2
+
+    def test_velocity_simple(self):
+        series = series_from([100, 110, 120, 130])
+        assert series.velocity() == 10.0
+
+    def test_velocity_with_wrap(self):
+        series = series_from([65530, 4, 14])
+        assert series.velocity() == 10.0
+
+    def test_velocity_needs_two_samples(self):
+        assert series_from([5]).velocity() is None
+
+
+class TestSharedCounterTest:
+    def test_accepts_interleaved_shared_counter(self):
+        merged = [(0.0, 100), (0.5, 103), (1.0, 105), (1.5, 109), (2.0, 111)]
+        assert shared_counter_test(merged, max_velocity=50.0)
+
+    def test_rejects_unrelated_offsets(self):
+        # Two counters ~30000 apart: the interleaving produces a huge jump.
+        merged = [(0.0, 100), (0.5, 30100), (1.0, 105), (1.5, 30110)]
+        assert not shared_counter_test(merged, max_velocity=50.0)
+
+    def test_accepts_wrap_of_shared_counter(self):
+        merged = [(0.0, 65530), (1.0, 2), (2.0, 8)]
+        assert shared_counter_test(merged, max_velocity=50.0)
+
+    def test_velocity_bound_enforced(self):
+        merged = [(0.0, 0), (1.0, 5000)]
+        assert not shared_counter_test(merged, max_velocity=100.0)
+        assert shared_counter_test(merged, max_velocity=10_000.0)
+
+    def test_unsorted_input_is_sorted_by_time(self):
+        merged = [(1.0, 105), (0.0, 100), (2.0, 111)]
+        assert shared_counter_test(merged, max_velocity=50.0)
+
+
+class TestClassification:
+    def test_monotonic_counter_usable(self):
+        assert classify_series(series_from([10, 14, 19, 25, 30])) is TargetClass.USABLE
+
+    def test_too_few_responses_unresponsive(self):
+        assert classify_series(series_from([10, 14])) is TargetClass.UNRESPONSIVE
+
+    def test_random_ipids_non_monotonic(self):
+        assert classify_series(series_from([40000, 200, 61234, 9, 30500])) is TargetClass.NON_MONOTONIC
+
+    def test_constant_ipid_non_monotonic(self):
+        assert classify_series(series_from([0, 0, 0, 0, 0])) is TargetClass.NON_MONOTONIC
+
+    def test_high_velocity_too_fast(self):
+        # Steps just inside the per-sample bound but above the velocity cap.
+        values = [(i * 2050) % 65536 for i in range(6)]
+        assert classify_series(series_from(values), max_velocity=2000.0) is TargetClass.TOO_FAST
+
+    def test_wrapping_high_velocity_counter_is_unusable(self):
+        # A counter wrapping several times between samples fails the bounds test.
+        values = [(i * 30_000) % 65536 for i in range(6)]
+        assert classify_series(series_from(values), max_velocity=2000.0) in (
+            TargetClass.NON_MONOTONIC,
+            TargetClass.TOO_FAST,
+        )

@@ -1,0 +1,114 @@
+"""Tests for dual-stack inference."""
+
+from repro.core.dual_stack import infer_dual_stack, union_dual_stack
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+
+def ssh_obs(address, key):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SSH,
+        source="active",
+        port=22,
+        fields=(
+            ("banner", "SSH-2.0-OpenSSH_9.3"),
+            ("capability_signature", "caps"),
+            ("host_key_fingerprint", key),
+        ),
+    )
+
+
+def snmp_obs(address, engine_id):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SNMPV3,
+        source="active",
+        port=161,
+        fields=(("engine_boots", "1"), ("engine_id", engine_id)),
+    )
+
+
+class TestInference:
+    def test_pairs_families_sharing_identifier(self):
+        observations = [ssh_obs("10.0.0.1", "key-A"), ssh_obs("2001:db8::1", "key-A")]
+        collection = infer_dual_stack(observations)
+        assert len(collection) == 1
+        dual = collection.sets[0]
+        assert dual.ipv4_addresses == frozenset({"10.0.0.1"})
+        assert dual.ipv6_addresses == frozenset({"2001:db8::1"})
+        assert dual.is_one_to_one
+
+    def test_identifier_without_both_families_is_dropped(self):
+        observations = [ssh_obs("10.0.0.1", "key-A"), ssh_obs("10.0.0.2", "key-A")]
+        assert len(infer_dual_stack(observations)) == 0
+
+    def test_protocol_filter(self):
+        observations = [
+            ssh_obs("10.0.0.1", "key-A"),
+            ssh_obs("2001:db8::1", "key-A"),
+            snmp_obs("10.0.0.2", "engine-1"),
+            snmp_obs("2001:db8::2", "engine-1"),
+        ]
+        ssh_only = infer_dual_stack(observations, protocol=ServiceType.SSH)
+        assert len(ssh_only) == 1
+        assert ssh_only.sets[0].protocols == frozenset({ServiceType.SSH})
+
+    def test_size_fractions_and_one_to_one(self):
+        observations = [
+            ssh_obs("10.0.0.1", "key-A"),
+            ssh_obs("2001:db8::1", "key-A"),
+            ssh_obs("10.0.1.1", "key-B"),
+            ssh_obs("10.0.1.2", "key-B"),
+            ssh_obs("2001:db8::b", "key-B"),
+        ]
+        collection = infer_dual_stack(observations)
+        fractions = collection.size_fractions()
+        assert fractions["1+1"] == 0.5
+        assert fractions["2-10"] == 0.5
+        assert collection.one_to_one_fraction() == 0.5
+
+    def test_address_accessors(self):
+        observations = [ssh_obs("10.0.0.1", "key-A"), ssh_obs("2001:db8::1", "key-A")]
+        collection = infer_dual_stack(observations)
+        assert collection.ipv4_addresses() == {"10.0.0.1"}
+        assert collection.ipv6_addresses() == {"2001:db8::1"}
+
+    def test_empty_collection_fractions(self):
+        collection = infer_dual_stack([])
+        assert collection.one_to_one_fraction() == 0.0
+        assert collection.size_fractions()[">10"] == 0.0
+
+
+class TestUnion:
+    def test_union_merges_sets_sharing_addresses(self):
+        ssh_sets = infer_dual_stack([ssh_obs("10.0.0.1", "k"), ssh_obs("2001:db8::1", "k")], name="ssh")
+        snmp_sets = infer_dual_stack(
+            [snmp_obs("10.0.0.1", "e"), snmp_obs("2001:db8::9", "e")], name="snmp"
+        )
+        union = union_dual_stack([ssh_sets, snmp_sets])
+        assert len(union) == 1
+        merged = union.sets[0]
+        assert merged.ipv6_addresses == frozenset({"2001:db8::1", "2001:db8::9"})
+        assert merged.protocols == frozenset({ServiceType.SSH, ServiceType.SNMPV3})
+
+    def test_union_keeps_disjoint_sets(self):
+        a = infer_dual_stack([ssh_obs("10.0.0.1", "k1"), ssh_obs("2001:db8::1", "k1")], name="a")
+        b = infer_dual_stack([ssh_obs("10.9.0.1", "k2"), ssh_obs("2001:db8::9", "k2")], name="b")
+        union = union_dual_stack([a, b])
+        assert len(union) == 2
+
+    def test_sets_per_asn(self):
+        observations = [
+            Observation(
+                address="10.0.0.1", protocol=ServiceType.SSH, source="active", port=22, asn=14061,
+                fields=(("banner", "b"), ("capability_signature", "c"), ("host_key_fingerprint", "k")),
+            ),
+            Observation(
+                address="2001:db8::1", protocol=ServiceType.SSH, source="active", port=22, asn=14061,
+                fields=(("banner", "b"), ("capability_signature", "c"), ("host_key_fingerprint", "k")),
+            ),
+        ]
+        collection = infer_dual_stack(observations)
+        assert collection.sets_per_asn() == {14061: 1}
+        assert collection.top_asns() == [(14061, 1)]

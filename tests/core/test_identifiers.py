@@ -1,0 +1,137 @@
+"""Tests for host identifier extraction."""
+
+from repro.core.identifiers import (
+    IdentifierOptions,
+    bgp_identifier,
+    extract_identifier,
+    snmp_identifier,
+    ssh_identifier,
+)
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+
+def ssh_observation(address="10.0.0.1", banner="SSH-2.0-OpenSSH_9.3", caps="c" * 64, key="SHA256:k1"):
+    fields = []
+    if banner is not None:
+        fields.append(("banner", banner))
+    if caps is not None:
+        fields.append(("capability_signature", caps))
+    if key is not None:
+        fields.append(("host_key_fingerprint", key))
+    return Observation(address=address, protocol=ServiceType.SSH, source="active", port=22, fields=tuple(sorted(fields)))
+
+
+def bgp_observation(address="10.0.0.2", **overrides):
+    fields = {
+        "bgp_identifier": "10.0.0.2",
+        "asn": "3320",
+        "hold_time": "180",
+        "version": "4",
+        "message_length": "37",
+        "capabilities": "128:,2:",
+    }
+    fields.update(overrides)
+    return Observation(
+        address=address, protocol=ServiceType.BGP, source="active", port=179, fields=tuple(sorted(fields.items()))
+    )
+
+
+def snmp_observation(address="10.0.0.3", engine_id="80001f880301020304"):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SNMPV3,
+        source="active",
+        port=161,
+        fields=(("engine_boots", "2"), ("engine_id", engine_id)),
+    )
+
+
+class TestSshIdentifier:
+    def test_same_material_same_identifier(self):
+        a = ssh_identifier(ssh_observation(address="10.0.0.1"))
+        b = ssh_identifier(ssh_observation(address="10.0.0.2"))
+        assert a == b
+
+    def test_different_keys_different_identifiers(self):
+        a = ssh_identifier(ssh_observation(key="SHA256:k1"))
+        b = ssh_identifier(ssh_observation(key="SHA256:k2"))
+        assert a != b
+
+    def test_missing_key_returns_none(self):
+        assert ssh_identifier(ssh_observation(key=None)) is None
+
+    def test_missing_capabilities_returns_none_by_default(self):
+        assert ssh_identifier(ssh_observation(caps=None)) is None
+
+    def test_capabilities_split_shared_keys(self):
+        # Two hosts with the same factory-default key but different algorithm
+        # capabilities must receive different identifiers (paper, section 2.2).
+        a = ssh_identifier(ssh_observation(caps="a" * 64))
+        b = ssh_identifier(ssh_observation(caps="b" * 64))
+        assert a != b
+
+    def test_key_only_mode_merges_shared_keys(self):
+        options = IdentifierOptions(ssh_include_capabilities=False, ssh_include_banner=False)
+        a = ssh_identifier(ssh_observation(caps="a" * 64), options)
+        b = ssh_identifier(ssh_observation(caps="b" * 64), options)
+        assert a == b
+
+    def test_banner_inclusion_toggle(self):
+        options = IdentifierOptions(ssh_include_banner=False)
+        a = ssh_identifier(ssh_observation(banner="SSH-2.0-OpenSSH_9.3"), options)
+        b = ssh_identifier(ssh_observation(banner="SSH-2.0-OpenSSH_8.9"), options)
+        assert a == b
+        assert ssh_identifier(ssh_observation(banner="SSH-2.0-OpenSSH_9.3")) != ssh_identifier(
+            ssh_observation(banner="SSH-2.0-OpenSSH_8.9")
+        )
+
+
+class TestBgpIdentifier:
+    def test_same_fields_same_identifier(self):
+        assert bgp_identifier(bgp_observation(address="10.0.0.2")) == bgp_identifier(
+            bgp_observation(address="10.0.0.99")
+        )
+
+    def test_different_bgp_id_different_identifier(self):
+        assert bgp_identifier(bgp_observation()) != bgp_identifier(
+            bgp_observation(bgp_identifier="10.9.9.9")
+        )
+
+    def test_missing_open_returns_none(self):
+        observation = Observation(address="10.0.0.4", protocol=ServiceType.BGP, source="active", port=179)
+        assert bgp_identifier(observation) is None
+
+    def test_hold_time_toggle(self):
+        options = IdentifierOptions(bgp_include_hold_time=False)
+        a = bgp_identifier(bgp_observation(hold_time="90"), options)
+        b = bgp_identifier(bgp_observation(hold_time="180"), options)
+        assert a == b
+        assert bgp_identifier(bgp_observation(hold_time="90")) != bgp_identifier(
+            bgp_observation(hold_time="180")
+        )
+
+    def test_capabilities_toggle(self):
+        options = IdentifierOptions(bgp_include_capabilities=False)
+        a = bgp_identifier(bgp_observation(capabilities="2:"), options)
+        b = bgp_identifier(bgp_observation(capabilities="128:,2:"), options)
+        assert a == b
+
+
+class TestSnmpAndDispatch:
+    def test_engine_id_is_the_identifier(self):
+        identifier = snmp_identifier(snmp_observation())
+        assert identifier.value == "80001f880301020304"
+
+    def test_missing_engine_id_returns_none(self):
+        observation = Observation(address="10.0.0.5", protocol=ServiceType.SNMPV3, source="active", port=161)
+        assert snmp_identifier(observation) is None
+
+    def test_extract_dispatches_by_protocol(self):
+        assert extract_identifier(ssh_observation()).protocol is ServiceType.SSH
+        assert extract_identifier(bgp_observation()).protocol is ServiceType.BGP
+        assert extract_identifier(snmp_observation()).protocol is ServiceType.SNMPV3
+
+    def test_short_rendering(self):
+        identifier = extract_identifier(snmp_observation())
+        assert identifier.short().startswith("snmpv3:")

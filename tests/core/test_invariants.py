@@ -1,0 +1,115 @@
+"""Property-based tests of alias-resolution invariants.
+
+These check structural properties that must hold for *any* observation set:
+grouping produces a partition, the cross-protocol union never loses
+addresses, dual-stack sets always contain both families, and identifier
+extraction is deterministic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alias_resolution import AliasResolver
+from repro.core.dual_stack import infer_dual_stack, union_dual_stack
+from repro.core.identifiers import extract_identifier
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+# Strategy: observations over a small universe of addresses and identifiers,
+# so collisions (aliases) actually happen.
+_ipv4 = st.integers(min_value=1, max_value=40).map(lambda i: f"10.0.0.{i}")
+_ipv6 = st.integers(min_value=1, max_value=40).map(lambda i: f"2001:db8::{i:x}")
+_key = st.integers(min_value=1, max_value=8).map(lambda i: f"SHA256:key{i}")
+_engine = st.integers(min_value=1, max_value=8).map(lambda i: f"80001f8803aabbcc0{i}")
+
+
+def _ssh_observation(address, key):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SSH,
+        source="active",
+        port=22,
+        fields=(
+            ("banner", "SSH-2.0-OpenSSH_9.3"),
+            ("capability_signature", "caps"),
+            ("host_key_fingerprint", key),
+        ),
+    )
+
+
+def _snmp_observation(address, engine_id):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SNMPV3,
+        source="active",
+        port=161,
+        fields=(("engine_boots", "1"), ("engine_id", engine_id)),
+    )
+
+
+# One observation per address (the data-source layer deduplicates per
+# (address, protocol) before grouping, so conflicting identifiers for the
+# same address never reach the resolver).
+ssh_observations = st.dictionaries(st.one_of(_ipv4, _ipv6), _key, max_size=60).map(
+    lambda mapping: [_ssh_observation(address, key) for address, key in mapping.items()]
+)
+snmp_observations = st.dictionaries(st.one_of(_ipv4, _ipv6), _engine, max_size=60).map(
+    lambda mapping: [_snmp_observation(address, engine) for address, engine in mapping.items()]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations=ssh_observations)
+def test_grouping_is_a_partition(observations):
+    collection = AliasResolver().group(observations, protocol=ServiceType.SSH)
+    seen: dict[str, int] = {}
+    for index, alias_set in enumerate(collection):
+        assert alias_set.size >= 1
+        for address in alias_set.addresses:
+            assert address not in seen, "address appears in two sets"
+            seen[address] = index
+    # Every observed address with identifier material is covered.
+    assert set(seen) == {observation.address for observation in observations}
+
+
+@settings(max_examples=60, deadline=None)
+@given(ssh=ssh_observations, snmp=snmp_observations)
+def test_union_preserves_addresses_and_merges_only_overlaps(ssh, snmp):
+    resolver = AliasResolver()
+    ssh_collection = resolver.group(ssh, protocol=ServiceType.SSH, name="ssh")
+    snmp_collection = resolver.group(snmp, protocol=ServiceType.SNMPV3, name="snmp")
+    union = AliasResolver.union([ssh_collection, snmp_collection])
+    assert union.addresses() == ssh_collection.addresses() | snmp_collection.addresses()
+    # The union never has more sets than the two inputs combined.
+    assert len(union) <= len(ssh_collection) + len(snmp_collection)
+    # Union sets are still a partition.
+    seen = set()
+    for alias_set in union:
+        assert not (alias_set.addresses & seen)
+        seen |= alias_set.addresses
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations=ssh_observations)
+def test_dual_stack_sets_always_span_both_families(observations):
+    collection = infer_dual_stack(observations)
+    for dual in collection:
+        assert dual.ipv4_addresses and dual.ipv6_addresses
+    merged = union_dual_stack([collection])
+    assert len(merged) <= len(collection) or len(collection) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(observations=ssh_observations)
+def test_identifier_extraction_is_deterministic(observations):
+    for observation in observations:
+        assert extract_identifier(observation) == extract_identifier(observation)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ssh=ssh_observations)
+def test_non_singleton_subset_of_all_sets(ssh):
+    collection = AliasResolver().group(ssh, protocol=ServiceType.SSH)
+    non_singleton = collection.non_singleton()
+    assert len(non_singleton) <= len(collection)
+    assert non_singleton.addresses() <= collection.addresses()

@@ -1,0 +1,124 @@
+"""Tests for the per-table / per-figure experiment drivers."""
+
+from repro.experiments import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.simnet.asn import AsRole
+
+
+class TestTable1:
+    def test_rows_and_render(self, scenario):
+        result = table1.build(scenario)
+        assert len(result.rows) == 6
+        ssh = result.row("SSH")
+        assert ssh.active_ips > 0
+        assert ssh.union_ips >= max(ssh.active_ips, ssh.censys_ips)
+        snmp = result.row("SNMPv3")
+        assert snmp.censys_ips is None
+        text = table1.render(result)
+        assert "Table 1" in text and "SSH" in text and "n.a." in text
+
+    def test_ipv6_rows_are_active_only(self, scenario):
+        result = table1.build(scenario)
+        row = result.row("SSH (IPv6)", family="ipv6")
+        assert row.censys_ips is None
+        assert row.active_ips > 0
+
+
+class TestTable2:
+    def test_validation_rows(self, scenario):
+        result = table2.build(scenario, midar_sample_size=25)
+        pairs = {row.pair for row in result.rows}
+        assert pairs == {"SSH-BGP", "SSH-SNMPv3", "BGP-SNMPv3", "SSH-MIDAR"}
+        for row in result.rows:
+            assert row.agree + row.disagree == row.sample_size
+        ssh_snmp = result.row("SSH-SNMPv3")
+        assert ssh_snmp.agreement_rate > 0.8
+        assert 0.0 <= result.midar_coverage <= 1.0
+        assert "MIDAR coverage" in table2.render(result)
+
+
+class TestTable3:
+    def test_union_dominates_and_shares_sum(self, scenario):
+        result = table3.build(scenario)
+        union_row = result.row("ipv4", "Union", "union")
+        snmp_row = result.row("ipv4", "SNMPv3", "union")
+        ssh_row = result.row("ipv4", "SSH", "union")
+        assert union_row.sets >= max(snmp_row.sets, ssh_row.sets)
+        assert union_row.covered_addresses >= ssh_row.covered_addresses
+        assert 0.0 <= result.union_only_snmp_share <= 1.0
+        assert result.union_ssh_bgp_share > result.union_only_snmp_share
+        assert "Table 3" in table3.render(result)
+
+    def test_censys_has_no_snmp_row(self, scenario):
+        result = table3.build(scenario)
+        assert all(
+            not (row.protocol == "SNMPv3" and row.source == "censys") for row in result.rows
+        )
+
+
+class TestTable4:
+    def test_dual_stack_rows(self, scenario):
+        result = table4.build(scenario)
+        union = result.row("Union")
+        ssh = result.row("SSH")
+        snmp = result.row("SNMPv3")
+        assert union.sets >= ssh.sets
+        assert ssh.sets > snmp.sets
+        assert union.ipv4_addresses > 0 and union.ipv6_addresses > 0
+        assert 0.0 <= result.one_to_one_share <= 1.0
+        assert "Dual-Stack" in table4.render(result)
+
+
+class TestTable5And6:
+    def test_table5_role_composition(self, scenario):
+        result = table5.build(scenario)
+        assert set(result.columns) == {"SSH", "BGP", "SNMPv3", "Union"}
+        assert result.cloud_share("SSH") > 0.5
+        bgp_roles = result.role_counts("BGP")
+        assert bgp_roles.get(AsRole.ISP, 0) >= bgp_roles.get(AsRole.CLOUD, 0)
+        assert "Table 5" in table5.render(result)
+
+    def test_table6_entries(self, scenario):
+        result = table6.build(scenario)
+        assert result.dual_stack_entries
+        assert result.ipv6_entries
+        assert 0.0 < result.top3_dual_stack_share <= 1.0
+        assert "Table 6" in table6.render(result)
+
+
+class TestFigures:
+    def test_figure3_curves(self, scenario):
+        result = figure3.build(scenario)
+        assert set(result.curves) == {"Censys BGP", "Active BGP", "Censys SSH", "Active SSH", "Active SNMPv3"}
+        ssh = result.curve("Active SSH")
+        bgp = result.curve("Active BGP")
+        assert ssh.fraction_exactly_two() > bgp.fraction_exactly_two()
+        assert "Figure 3" in figure3.render(result)
+
+    def test_figure4_curves(self, scenario):
+        result = figure4.build(scenario)
+        assert set(result.curves) == {"Active SSH", "Active BGP", "Active SNMPv3"}
+        assert "Figure 4" in figure4.render(result)
+
+    def test_figure5_multi_as(self, scenario):
+        result = figure5.build(scenario)
+        assert result.multi_as_fractions["BGP"] > result.multi_as_fractions["SSH"]
+        assert result.multi_as_fractions["SSH"] < 0.15
+        assert "Figure 5" in figure5.render(result)
+
+    def test_figure6_distributions(self, scenario):
+        result = figure6.build(scenario)
+        assert result.ases_with_alias_sets > 0
+        assert result.ases_with_dual_stack_sets > 0
+        assert result.ases_with_dual_stack_sets <= result.ases_with_alias_sets
+        assert "Figure 6" in figure6.render(result)

@@ -1,0 +1,101 @@
+"""Tests for JSONL helpers and dataset persistence."""
+
+import pytest
+
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.errors import DatasetError
+from repro.io.datasets import (
+    load_alias_sets,
+    load_observations,
+    observation_from_dict,
+    observation_to_dict,
+    save_alias_sets,
+    save_observations,
+)
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation, ObservationDataset
+
+
+def sample_observation(address="10.0.0.1"):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SSH,
+        source="active",
+        port=22,
+        timestamp=12.5,
+        asn=14061,
+        fields=(("banner", "SSH-2.0-OpenSSH_9.3"), ("host_key_fingerprint", "SHA256:abc")),
+    )
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        count = write_jsonl(path, [{"a": 1}, {"b": [1, 2]}])
+        assert count == 2
+        assert list(read_jsonl(path)) == [{"a": 1}, {"b": [1, 2]}]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            list(read_jsonl(tmp_path / "absent.jsonl"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(DatasetError):
+            list(read_jsonl(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(list(read_jsonl(path))) == 2
+
+
+class TestObservationSerialisation:
+    def test_dict_roundtrip(self):
+        observation = sample_observation()
+        assert observation_from_dict(observation_to_dict(observation)) == observation
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(DatasetError):
+            observation_from_dict({"address": "10.0.0.1"})
+
+    def test_dataset_roundtrip(self, tmp_path):
+        dataset = ObservationDataset("active", [sample_observation(), sample_observation("10.0.0.2")])
+        path = tmp_path / "obs.jsonl"
+        assert save_observations(dataset, path) == 2
+        loaded = load_observations(path, name="active")
+        assert len(loaded) == 2
+        assert loaded.addresses() == {"10.0.0.1", "10.0.0.2"}
+        assert list(loaded)[0].field("banner") == "SSH-2.0-OpenSSH_9.3"
+
+
+class TestAliasSetSerialisation:
+    def test_roundtrip(self, tmp_path):
+        collection = AliasSetCollection(
+            "ssh",
+            [
+                AliasSet("id-1", frozenset({"10.0.0.1", "10.0.0.2"}), frozenset({ServiceType.SSH})),
+                AliasSet("id-2", frozenset({"10.1.0.1"}), frozenset({ServiceType.SSH, ServiceType.BGP})),
+            ],
+            address_asn={"10.0.0.1": 1, "10.0.0.2": 1, "10.1.0.1": 2},
+        )
+        path = tmp_path / "sets.json"
+        save_alias_sets(collection, path)
+        loaded = load_alias_sets(path)
+        assert loaded.name == "ssh"
+        assert len(loaded) == 2
+        assert loaded.asn_of("10.1.0.1") == 2
+        two_set = next(s for s in loaded if s.size == 2)
+        assert two_set.addresses == frozenset({"10.0.0.1", "10.0.0.2"})
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_alias_sets(tmp_path / "absent.json")
+
+    def test_malformed_document_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(DatasetError):
+            load_alias_sets(path)

@@ -1,0 +1,71 @@
+"""Tests for the loopback connection and server behaviour plumbing."""
+
+import pytest
+
+from repro.net.endpoint import ConnectionClosed, LoopbackConnection, ServerBehavior
+
+
+class GreeterBehavior(ServerBehavior):
+    """Sends a greeting on connect and echoes client data back upper-cased."""
+
+    def __init__(self, close_after_greeting=False):
+        self._closed = close_after_greeting
+
+    def on_connect(self):
+        return b"HELLO\n"
+
+    def on_data(self, data):
+        return data.upper()
+
+    @property
+    def closed(self):
+        return self._closed
+
+
+class TestLoopbackConnection:
+    def test_on_connect_bytes_are_buffered(self):
+        connection = LoopbackConnection(GreeterBehavior())
+        assert connection.receive() == b"HELLO\n"
+
+    def test_receive_drains_buffer(self):
+        connection = LoopbackConnection(GreeterBehavior())
+        connection.receive()
+        assert connection.receive() == b""
+
+    def test_send_and_receive_roundtrip(self):
+        connection = LoopbackConnection(GreeterBehavior())
+        connection.receive()
+        connection.send(b"ping")
+        assert connection.receive() == b"PING"
+
+    def test_send_after_close_raises(self):
+        connection = LoopbackConnection(GreeterBehavior())
+        connection.close()
+        with pytest.raises(ConnectionClosed):
+            connection.send(b"late")
+
+    def test_receive_after_close_raises(self):
+        connection = LoopbackConnection(GreeterBehavior())
+        connection.close()
+        with pytest.raises(ConnectionClosed):
+            connection.receive()
+
+    def test_peer_closed_reflects_behavior_and_buffer(self):
+        connection = LoopbackConnection(GreeterBehavior(close_after_greeting=True))
+        # Greeting still buffered: not peer_closed yet from the reader's view.
+        assert not connection.peer_closed
+        assert connection.receive() == b"HELLO\n"
+        assert connection.peer_closed
+
+    def test_send_to_closed_peer_is_dropped(self):
+        connection = LoopbackConnection(GreeterBehavior(close_after_greeting=True))
+        connection.receive()
+        connection.send(b"anyone there?")
+        assert connection.receive() == b""
+
+    def test_default_server_behavior_is_silent(self):
+        connection = LoopbackConnection(ServerBehavior())
+        assert connection.receive() == b""
+        connection.send(b"data")
+        assert connection.receive() == b""
+        assert not connection.peer_closed

@@ -1,0 +1,88 @@
+"""Tests for IPID counter models."""
+
+import random
+
+from repro.net.ipid import (
+    IPID_MODULUS,
+    ConstantIpidCounter,
+    HighVelocityIpidCounter,
+    MonotonicIpidCounter,
+    PerInterfaceIpidCounter,
+    RandomIpidCounter,
+)
+
+
+def unwrapped_deltas(samples):
+    """Differences between consecutive samples modulo the IPID space."""
+    return [(b - a) % IPID_MODULUS for a, b in zip(samples, samples[1:])]
+
+
+class TestMonotonicCounter:
+    def test_increments_between_samples(self):
+        counter = MonotonicIpidCounter(start=100, velocity=0.0, jitter=0)
+        samples = [counter.sample("a", float(t)) for t in range(10)]
+        assert samples == list(range(101, 111))
+
+    def test_shared_across_interfaces(self):
+        counter = MonotonicIpidCounter(start=5, velocity=0.0, jitter=0)
+        first = counter.sample("if0", 0.0)
+        second = counter.sample("if1", 0.1)
+        assert second == first + 1
+
+    def test_velocity_adds_background_traffic(self):
+        slow = MonotonicIpidCounter(start=0, velocity=0.0, jitter=0)
+        fast = MonotonicIpidCounter(start=0, velocity=100.0, jitter=0)
+        slow_samples = [slow.sample("a", float(t)) for t in range(1, 6)]
+        fast_samples = [fast.sample("a", float(t)) for t in range(1, 6)]
+        assert max(unwrapped_deltas(fast_samples)) > max(unwrapped_deltas(slow_samples))
+
+    def test_wraps_modulo_65536(self):
+        counter = MonotonicIpidCounter(start=IPID_MODULUS - 2, velocity=0.0, jitter=0)
+        samples = [counter.sample("a", float(t)) for t in range(4)]
+        assert all(0 <= value < IPID_MODULUS for value in samples)
+        assert 0 in samples  # the wrap happened
+
+    def test_time_never_goes_backwards_effect(self):
+        counter = MonotonicIpidCounter(start=0, velocity=10.0, jitter=0)
+        counter.sample("a", 100.0)
+        # An out-of-order timestamp must not decrease the counter.
+        later = counter.sample("a", 50.0)
+        latest = counter.sample("a", 51.0)
+        assert (latest - later) % IPID_MODULUS >= 1
+
+
+class TestPerInterfaceCounter:
+    def test_interfaces_have_independent_sequences(self):
+        counter = PerInterfaceIpidCounter(velocity=0.0, rng=random.Random(1))
+        a_samples = [counter.sample("a", float(t)) for t in range(5)]
+        b_samples = [counter.sample("b", float(t)) for t in range(5)]
+        # Each sequence is locally monotonic with small steps...
+        assert all(0 < delta < 10 for delta in unwrapped_deltas(a_samples))
+        assert all(0 < delta < 10 for delta in unwrapped_deltas(b_samples))
+        # ...but the two sequences start from unrelated offsets.
+        assert abs(a_samples[0] - b_samples[0]) > 10
+
+    def test_not_shared_flag(self):
+        assert PerInterfaceIpidCounter.shared_across_interfaces is False
+
+
+class TestOtherCounters:
+    def test_random_counter_not_monotonic_flag(self):
+        assert RandomIpidCounter.monotonic is False
+
+    def test_random_counter_range(self):
+        counter = RandomIpidCounter(rng=random.Random(2))
+        samples = [counter.sample("a", float(t)) for t in range(100)]
+        assert all(0 <= value < IPID_MODULUS for value in samples)
+        assert len(set(samples)) > 50  # overwhelmingly distinct
+
+    def test_constant_counter(self):
+        counter = ConstantIpidCounter(value=0)
+        assert [counter.sample("a", float(t)) for t in range(5)] == [0] * 5
+
+    def test_high_velocity_counter_wraps_between_samples(self):
+        counter = HighVelocityIpidCounter(start=0, rng=random.Random(3))
+        # One second apart at ~250k increments/second wraps several times.
+        first = counter.sample("a", 1.0)
+        second = counter.sample("a", 2.0)
+        assert 0 <= first < IPID_MODULUS and 0 <= second < IPID_MODULUS

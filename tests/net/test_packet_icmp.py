@@ -1,0 +1,37 @@
+"""Tests for packet and ICMP models."""
+
+from repro.net.icmp import IcmpMessage, IcmpType
+from repro.net.packet import ProbePacket, ProbeType, ResponsePacket, ResponseType
+
+
+class TestPackets:
+    def test_response_responded_flag(self):
+        probe = ProbePacket(target="192.0.2.1", probe_type=ProbeType.TCP_SYN, dport=22)
+        hit = ResponsePacket(probe=probe, response_type=ResponseType.TCP_SYNACK, source="192.0.2.1")
+        miss = ResponsePacket(probe=probe, response_type=ResponseType.NO_RESPONSE)
+        assert hit.responded
+        assert not miss.responded
+
+    def test_probe_defaults(self):
+        probe = ProbePacket(target="2001:db8::1", probe_type=ProbeType.ICMP_ECHO)
+        assert probe.dport == 0
+        assert probe.timestamp == 0.0
+
+
+class TestIcmp:
+    def test_port_unreachable_detection(self):
+        message = IcmpMessage(
+            icmp_type=IcmpType.DEST_UNREACHABLE,
+            code=3,
+            source="192.0.2.254",
+            quoted_destination="192.0.2.1",
+        )
+        assert message.is_port_unreachable
+
+    def test_other_unreachable_codes_are_not_port_unreachable(self):
+        message = IcmpMessage(icmp_type=IcmpType.DEST_UNREACHABLE, code=1, source="192.0.2.254")
+        assert not message.is_port_unreachable
+
+    def test_echo_reply_is_not_port_unreachable(self):
+        message = IcmpMessage(icmp_type=IcmpType.ECHO_REPLY, code=0, source="192.0.2.1")
+        assert not message.is_port_unreachable

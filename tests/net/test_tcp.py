@@ -1,0 +1,60 @@
+"""Tests for the simplified TCP handshake model."""
+
+from repro.net.tcp import TcpFlags, TcpPolicy, TcpSegment, handshake_response
+
+
+def syn(target="192.0.2.1", port=22):
+    return TcpSegment(
+        source="198.51.100.9",
+        destination=target,
+        sport=54321,
+        dport=port,
+        flags=TcpFlags.SYN,
+        seq=1000,
+    )
+
+
+class TestHandshake:
+    def test_accept_returns_synack(self):
+        reply = handshake_response(syn(), TcpPolicy.ACCEPT)
+        assert reply is not None
+        assert TcpFlags.SYN in reply.flags and TcpFlags.ACK in reply.flags
+
+    def test_synack_swaps_endpoints_and_acks_seq(self):
+        probe = syn()
+        reply = handshake_response(probe, TcpPolicy.ACCEPT)
+        assert reply.source == probe.destination
+        assert reply.destination == probe.source
+        assert reply.sport == probe.dport
+        assert reply.dport == probe.sport
+        assert reply.ack == probe.seq + 1
+
+    def test_reset_policy_returns_rst(self):
+        reply = handshake_response(syn(), TcpPolicy.RESET)
+        assert reply is not None
+        assert TcpFlags.RST in reply.flags
+        assert TcpFlags.SYN not in reply.flags
+
+    def test_drop_policy_returns_none(self):
+        assert handshake_response(syn(), TcpPolicy.DROP) is None
+
+    def test_non_syn_segment_gets_no_reply(self):
+        ack = TcpSegment(
+            source="198.51.100.9",
+            destination="192.0.2.1",
+            sport=54321,
+            dport=22,
+            flags=TcpFlags.ACK,
+        )
+        assert handshake_response(ack, TcpPolicy.ACCEPT) is None
+
+    def test_synack_is_not_treated_as_syn(self):
+        synack = TcpSegment(
+            source="192.0.2.1",
+            destination="198.51.100.9",
+            sport=22,
+            dport=54321,
+            flags=TcpFlags.SYN | TcpFlags.ACK,
+        )
+        assert not synack.is_syn
+        assert handshake_response(synack, TcpPolicy.ACCEPT) is None

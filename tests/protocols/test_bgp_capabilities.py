@@ -1,0 +1,71 @@
+"""Tests for BGP capability encoding (RFC 5492)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MalformedMessageError, TruncatedMessageError
+from repro.protocols.bgp.capabilities import (
+    Capability,
+    CapabilityCode,
+    encode_optional_parameters,
+    parse_optional_parameters,
+)
+
+
+class TestCapabilities:
+    def test_route_refresh_roundtrip(self):
+        encoded = encode_optional_parameters([Capability.route_refresh()])
+        parsed = parse_optional_parameters(encoded)
+        assert parsed == [Capability(code=CapabilityCode.ROUTE_REFRESH, value=b"")]
+
+    def test_multiple_capabilities_preserved_in_order(self):
+        capabilities = [
+            Capability.route_refresh_cisco(),
+            Capability.route_refresh(),
+            Capability.multiprotocol(afi=1, safi=1),
+        ]
+        parsed = parse_optional_parameters(encode_optional_parameters(capabilities))
+        assert [c.code for c in parsed] == [128, 2, 1]
+
+    def test_multiprotocol_value_layout(self):
+        capability = Capability.multiprotocol(afi=2, safi=1)
+        assert capability.value == b"\x00\x02\x00\x01"
+
+    def test_four_octet_as_roundtrip(self):
+        capability = Capability.four_octet_as(396982)
+        parsed = parse_optional_parameters(encode_optional_parameters([capability]))
+        assert parsed[0].four_octet_asn == 396982
+
+    def test_four_octet_asn_none_for_other_codes(self):
+        assert Capability.route_refresh().four_octet_asn is None
+
+    def test_overlong_value_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            Capability(code=1, value=b"\x00" * 256).encode()
+
+    def test_non_capability_parameters_skipped(self):
+        # Parameter type 1 (authentication, deprecated) must be ignored.
+        blob = bytes([1, 2, 0xAA, 0xBB]) + encode_optional_parameters([Capability.route_refresh()])
+        parsed = parse_optional_parameters(blob)
+        assert len(parsed) == 1
+
+    def test_truncated_parameter_raises(self):
+        encoded = encode_optional_parameters([Capability.four_octet_as(65000)])
+        with pytest.raises(TruncatedMessageError):
+            parse_optional_parameters(encoded[:-2])
+
+    def test_empty_blob_parses_to_empty_list(self):
+        assert parse_optional_parameters(b"") == []
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.binary(max_size=16)),
+        max_size=5,
+    )
+)
+def test_capability_roundtrip_property(raw):
+    capabilities = [Capability(code=code, value=value) for code, value in raw]
+    parsed = parse_optional_parameters(encode_optional_parameters(capabilities))
+    assert parsed == capabilities

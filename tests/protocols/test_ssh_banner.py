@@ -1,0 +1,61 @@
+"""Tests for SSH banner parsing and rendering."""
+
+import pytest
+
+from repro.errors import MalformedMessageError
+from repro.protocols.ssh.banner import SshBanner
+
+
+class TestRender:
+    def test_basic_render(self):
+        banner = SshBanner(softwareversion="OpenSSH_8.9p1")
+        assert banner.render() == "SSH-2.0-OpenSSH_8.9p1"
+
+    def test_render_with_comments(self):
+        banner = SshBanner(softwareversion="OpenSSH_8.9p1", comments="Ubuntu-3ubuntu0.1")
+        assert banner.render() == "SSH-2.0-OpenSSH_8.9p1 Ubuntu-3ubuntu0.1"
+
+    def test_wire_form_ends_with_crlf(self):
+        assert SshBanner().render_wire().endswith(b"\r\n")
+
+
+class TestParse:
+    def test_parse_simple(self):
+        banner = SshBanner.parse("SSH-2.0-OpenSSH_9.3\r\n")
+        assert banner.protoversion == "2.0"
+        assert banner.softwareversion == "OpenSSH_9.3"
+        assert banner.comments == ""
+
+    def test_parse_with_comments(self):
+        banner = SshBanner.parse("SSH-2.0-dropbear_2020.81 some comment here")
+        assert banner.softwareversion == "dropbear_2020.81"
+        assert banner.comments == "some comment here"
+
+    def test_parse_bytes(self):
+        banner = SshBanner.parse(b"SSH-2.0-OpenSSH_8.4p1 Debian-5+deb11u1\r\n")
+        assert banner.softwareversion == "OpenSSH_8.4p1"
+
+    def test_roundtrip(self):
+        original = SshBanner(softwareversion="libssh_0.9.6", comments="unit test")
+        assert SshBanner.parse(original.render()) == original
+
+    def test_legacy_protoversion(self):
+        banner = SshBanner.parse("SSH-1.99-Cisco-1.25")
+        assert banner.protoversion == "1.99"
+        assert banner.softwareversion == "Cisco-1.25"
+
+    def test_not_ssh_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            SshBanner.parse("HTTP/1.1 200 OK")
+
+    def test_missing_software_version_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            SshBanner.parse("SSH-2.0-")
+
+    def test_overlong_banner_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            SshBanner.parse("SSH-2.0-" + "x" * 300)
+
+    def test_non_ascii_bytes_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            SshBanner.parse("SSH-2.0-Open\xff".encode("latin-1"))

@@ -1,0 +1,90 @@
+"""Tests for host key blobs and fingerprints."""
+
+import pytest
+
+from repro.errors import MalformedMessageError
+from repro.protocols.ssh.hostkey import (
+    EcdsaHostKey,
+    Ed25519HostKey,
+    OpaqueHostKey,
+    RsaHostKey,
+    parse_host_key_blob,
+)
+from repro.protocols.ssh.wire import SshWriter
+
+
+class TestEd25519:
+    def test_generate_is_deterministic(self):
+        assert Ed25519HostKey.generate("router-1") == Ed25519HostKey.generate("router-1")
+
+    def test_different_seeds_differ(self):
+        assert Ed25519HostKey.generate("a") != Ed25519HostKey.generate("b")
+
+    def test_blob_roundtrip(self):
+        key = Ed25519HostKey.generate("router-2")
+        parsed = parse_host_key_blob(key.encode_blob())
+        assert isinstance(parsed, Ed25519HostKey)
+        assert parsed == key
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            Ed25519HostKey(public_key=b"\x00" * 16)
+
+    def test_fingerprint_format(self):
+        fingerprint = Ed25519HostKey.generate("x").fingerprint()
+        assert fingerprint.startswith("SHA256:")
+        assert "=" not in fingerprint
+
+
+class TestRsa:
+    def test_generate_modulus_size(self):
+        key = RsaHostKey.generate("router-3", bits=2048)
+        assert key.modulus.bit_length() == 2048
+        assert key.modulus % 2 == 1
+
+    def test_blob_roundtrip(self):
+        key = RsaHostKey.generate("router-4")
+        parsed = parse_host_key_blob(key.encode_blob())
+        assert isinstance(parsed, RsaHostKey)
+        assert parsed.exponent == key.exponent
+        assert parsed.modulus == key.modulus
+
+    def test_distinct_seeds_distinct_moduli(self):
+        assert RsaHostKey.generate("a").modulus != RsaHostKey.generate("b").modulus
+
+
+class TestEcdsa:
+    def test_blob_roundtrip(self):
+        key = EcdsaHostKey.generate("router-5")
+        parsed = parse_host_key_blob(key.encode_blob())
+        assert isinstance(parsed, EcdsaHostKey)
+        assert parsed.point == key.point
+        assert parsed.curve == "nistp256"
+
+    def test_point_is_uncompressed(self):
+        key = EcdsaHostKey.generate("router-6")
+        assert key.point[0] == 0x04
+        assert len(key.point) == 65
+
+
+class TestFingerprints:
+    def test_fingerprints_unique_across_keys(self):
+        keys = [Ed25519HostKey.generate(f"host-{i}") for i in range(50)]
+        fingerprints = {key.fingerprint() for key in keys}
+        assert len(fingerprints) == 50
+
+    def test_fingerprint_depends_on_blob_only(self):
+        key = Ed25519HostKey.generate("stable")
+        assert key.fingerprint() == parse_host_key_blob(key.encode_blob()).fingerprint()
+
+
+class TestOpaque:
+    def test_unknown_algorithm_preserved(self):
+        writer = SshWriter()
+        writer.write_string(b"ssh-dss")
+        writer.write_mpint(12345)
+        blob = writer.getvalue()
+        parsed = parse_host_key_blob(blob)
+        assert isinstance(parsed, OpaqueHostKey)
+        assert parsed.algorithm == "ssh-dss"
+        assert parsed.encode_blob() == blob

@@ -1,0 +1,76 @@
+"""End-to-end tests of the SSH server behaviour and scanning client."""
+
+from repro.net.endpoint import LoopbackConnection
+from repro.protocols.ssh.banner import SshBanner
+from repro.protocols.ssh.client import SshScanClient
+from repro.protocols.ssh.kex import KexInit
+from repro.protocols.ssh.messages import KexEcdhReply
+from repro.protocols.ssh.server import SshServerBehavior, SshServerConfig, SshServerStyle
+
+
+def scan(config):
+    connection = LoopbackConnection(SshServerBehavior(config))
+    return SshScanClient().scan("192.0.2.10", connection)
+
+
+class TestKexEcdhReply:
+    def test_roundtrip(self):
+        config = SshServerConfig.generate("device-1")
+        reply = KexEcdhReply.for_host_key(config.host_key.encode_blob(), seed="device-1")
+        parsed = KexEcdhReply.parse(reply.build())
+        assert parsed.host_key_blob == config.host_key.encode_blob()
+
+
+class TestFullHandshake:
+    def test_scan_collects_banner_kex_and_hostkey(self):
+        config = SshServerConfig.generate("device-2", banner=SshBanner(softwareversion="OpenSSH_9.0"))
+        record = scan(config)
+        assert record.success
+        assert record.banner == "SSH-2.0-OpenSSH_9.0"
+        assert record.kex_init is not None
+        assert record.host_key_algorithm == "ssh-ed25519"
+        assert record.host_key_fingerprint == config.host_key.fingerprint()
+        assert record.has_identifier
+
+    def test_capability_signature_matches_server_config(self):
+        config = SshServerConfig.generate("device-3")
+        record = scan(config)
+        assert record.capability_signature == config.kex_init.capability_signature()
+
+    def test_same_config_two_addresses_same_material(self):
+        config = SshServerConfig.generate("device-4")
+        record_a = SshScanClient().scan("192.0.2.20", LoopbackConnection(SshServerBehavior(config)))
+        record_b = SshScanClient().scan("192.0.2.21", LoopbackConnection(SshServerBehavior(config)))
+        assert record_a.host_key_fingerprint == record_b.host_key_fingerprint
+        assert record_a.capability_signature == record_b.capability_signature
+
+    def test_distinct_devices_have_distinct_hostkeys(self):
+        record_a = scan(SshServerConfig.generate("device-5"))
+        record_b = scan(SshServerConfig.generate("device-6"))
+        assert record_a.host_key_fingerprint != record_b.host_key_fingerprint
+
+
+class TestDegradedServers:
+    def test_banner_only_server(self):
+        config = SshServerConfig.generate("device-7", style=SshServerStyle.BANNER_ONLY)
+        record = scan(config)
+        assert record.success
+        assert record.banner is not None
+        assert record.host_key_fingerprint is None
+        assert not record.has_identifier
+
+    def test_silent_server(self):
+        config = SshServerConfig.generate("device-8", style=SshServerStyle.SILENT)
+        record = scan(config)
+        assert not record.success
+        assert record.banner is None
+
+    def test_custom_kexinit_preserved(self):
+        kex = KexInit(
+            cookie=b"\x11" * 16,
+            kex_algorithms=("diffie-hellman-group14-sha1",),
+            server_host_key_algorithms=("ssh-rsa",),
+        )
+        config = SshServerConfig.generate("device-9", kex_init=kex)
+        record = scan(config)
+        assert record.kex_init.kex_algorithms == ("diffie-hellman-group14-sha1",)

@@ -1,0 +1,123 @@
+"""Tests for RFC 4251 data types and binary packet framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MalformedMessageError, TruncatedMessageError
+from repro.protocols.ssh.wire import (
+    SshReader,
+    SshWriter,
+    frame_packet,
+    iter_packets,
+    unframe_packet,
+)
+
+
+class TestPrimitiveTypes:
+    def test_byte_roundtrip(self):
+        data = SshWriter().write_byte(20).getvalue()
+        assert SshReader(data).read_byte() == 20
+
+    def test_boolean_roundtrip(self):
+        data = SshWriter().write_boolean(True).write_boolean(False).getvalue()
+        reader = SshReader(data)
+        assert reader.read_boolean() is True
+        assert reader.read_boolean() is False
+
+    def test_uint32_roundtrip(self):
+        data = SshWriter().write_uint32(0xDEADBEEF).getvalue()
+        assert SshReader(data).read_uint32() == 0xDEADBEEF
+
+    def test_string_roundtrip(self):
+        data = SshWriter().write_string(b"ssh-ed25519").getvalue()
+        assert SshReader(data).read_string() == b"ssh-ed25519"
+
+    def test_name_list_roundtrip(self):
+        names = ["curve25519-sha256", "ecdh-sha2-nistp256"]
+        data = SshWriter().write_name_list(names).getvalue()
+        assert SshReader(data).read_name_list() == names
+
+    def test_empty_name_list(self):
+        data = SshWriter().write_name_list([]).getvalue()
+        assert SshReader(data).read_name_list() == []
+
+    def test_mpint_zero(self):
+        data = SshWriter().write_mpint(0).getvalue()
+        assert SshReader(data).read_mpint() == 0
+
+    def test_mpint_high_bit_gets_leading_zero(self):
+        data = SshWriter().write_mpint(0x80).getvalue()
+        # string length 2: 0x00 0x80
+        assert data == b"\x00\x00\x00\x02\x00\x80"
+        assert SshReader(data).read_mpint() == 0x80
+
+    def test_negative_mpint_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            SshWriter().write_mpint(-5)
+
+    def test_truncated_read_raises(self):
+        with pytest.raises(TruncatedMessageError):
+            SshReader(b"\x00\x00\x00\x08abc").read_string()
+
+    def test_non_ascii_name_list_rejected(self):
+        data = SshWriter().write_string("café".encode("utf-8")).getvalue()
+        with pytest.raises(MalformedMessageError):
+            SshReader(data).read_name_list()
+
+
+class TestPacketFraming:
+    def test_roundtrip(self):
+        payload = b"\x14" + b"x" * 37
+        packet = frame_packet(payload)
+        recovered, rest = unframe_packet(packet)
+        assert recovered == payload
+        assert rest == b""
+
+    def test_total_length_is_multiple_of_block(self):
+        for size in range(0, 64):
+            packet = frame_packet(b"a" * size)
+            assert len(packet) % 8 == 0
+
+    def test_minimum_padding(self):
+        packet = frame_packet(b"abc")
+        padding_length = packet[4]
+        assert padding_length >= 4
+
+    def test_multiple_packets_iterated_in_order(self):
+        stream = frame_packet(b"first") + frame_packet(b"second") + frame_packet(b"third")
+        assert list(iter_packets(stream)) == [b"first", b"second", b"third"]
+
+    def test_truncated_packet_raises(self):
+        packet = frame_packet(b"payload")
+        with pytest.raises(TruncatedMessageError):
+            unframe_packet(packet[: len(packet) - 3])
+
+    def test_iter_packets_stops_at_truncation(self):
+        stream = frame_packet(b"whole") + frame_packet(b"partial")[:-3]
+        assert list(iter_packets(stream)) == [b"whole"]
+
+    def test_inconsistent_lengths_raise(self):
+        # packet_length (1) smaller than padding_length (4) + 1
+        bogus = b"\x00\x00\x00\x01\x04" + b"\x00" * 8
+        with pytest.raises(MalformedMessageError):
+            unframe_packet(bogus)
+
+
+@given(st.binary(min_size=0, max_size=512))
+def test_frame_roundtrip_property(payload):
+    recovered, rest = unframe_packet(frame_packet(payload))
+    assert recovered == payload
+    assert rest == b""
+
+
+@given(st.lists(st.binary(min_size=0, max_size=64), min_size=0, max_size=8))
+def test_iter_packets_property(payloads):
+    stream = b"".join(frame_packet(payload) for payload in payloads)
+    assert list(iter_packets(stream)) == payloads
+
+
+@given(st.integers(min_value=0, max_value=2**1024))
+def test_mpint_roundtrip_property(value):
+    data = SshWriter().write_mpint(value).getvalue()
+    assert SshReader(data).read_mpint() == value

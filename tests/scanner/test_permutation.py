@@ -1,0 +1,60 @@
+"""Tests for the ZMap-style cyclic permutation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scanner.permutation import CyclicPermutation, next_prime
+
+
+class TestNextPrime:
+    def test_small_values(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+
+    def test_larger_value(self):
+        assert next_prime(65536) == 65537
+
+
+class TestCyclicPermutation:
+    def test_covers_every_index_exactly_once(self):
+        permutation = CyclicPermutation(100, seed=3)
+        indices = list(permutation.indices())
+        assert sorted(indices) == list(range(100))
+
+    def test_not_identity_order(self):
+        permutation = CyclicPermutation(500, seed=1)
+        assert list(permutation.indices()) != list(range(500))
+
+    def test_different_seeds_give_different_orders(self):
+        a = list(CyclicPermutation(200, seed=1).indices())
+        b = list(CyclicPermutation(200, seed=2).indices())
+        assert a != b
+
+    def test_same_seed_is_deterministic(self):
+        assert list(CyclicPermutation(77, seed=9).indices()) == list(CyclicPermutation(77, seed=9).indices())
+
+    def test_order_reorders_items(self):
+        items = [f"host-{i}" for i in range(25)]
+        ordered = CyclicPermutation(25, seed=4).order(items)
+        assert sorted(ordered) == sorted(items)
+        assert ordered != items
+
+    def test_order_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            CyclicPermutation(5, seed=1).order([1, 2, 3])
+
+    def test_size_one(self):
+        assert list(CyclicPermutation(1, seed=0).indices()) == [0]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicPermutation(0)
+
+
+@given(n=st.integers(min_value=1, max_value=400), seed=st.integers(min_value=0, max_value=1000))
+def test_permutation_property(n, seed):
+    indices = list(CyclicPermutation(n, seed=seed).indices())
+    assert sorted(indices) == list(range(n))

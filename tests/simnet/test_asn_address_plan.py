@@ -1,0 +1,81 @@
+"""Tests for the AS registry and address allocation."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simnet.address_plan import InterfaceAddressPool, PrefixAllocator
+from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
+
+
+class TestAsRegistry:
+    def test_add_and_get(self):
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(asn=14061, name="Cloud-1", role=AsRole.CLOUD))
+        assert registry.get(14061).name == "Cloud-1"
+        assert 14061 in registry
+        assert len(registry) == 1
+
+    def test_duplicate_asn_rejected(self):
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(asn=1, name="A", role=AsRole.ISP))
+        with pytest.raises(TopologyError):
+            registry.add(AutonomousSystem(asn=1, name="B", role=AsRole.ISP))
+
+    def test_unknown_asn_raises(self):
+        with pytest.raises(TopologyError):
+            AsRegistry().get(99)
+
+    def test_invalid_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=0, name="bad", role=AsRole.ISP)
+
+    def test_by_role_and_roles(self):
+        registry = AsRegistry()
+        registry.add(AutonomousSystem(asn=1, name="A", role=AsRole.ISP))
+        registry.add(AutonomousSystem(asn=2, name="B", role=AsRole.CLOUD))
+        registry.add(AutonomousSystem(asn=3, name="C", role=AsRole.CLOUD))
+        assert {a.asn for a in registry.by_role(AsRole.CLOUD)} == {2, 3}
+        assert registry.roles() == {1: AsRole.ISP, 2: AsRole.CLOUD, 3: AsRole.CLOUD}
+
+
+class TestPrefixAllocator:
+    def test_blocks_are_distinct(self):
+        allocator = PrefixAllocator()
+        blocks = [allocator.allocate_ipv4() for _ in range(50)]
+        assert len(set(blocks)) == 50
+        assert all(block.endswith("/16") for block in blocks)
+
+    def test_ipv6_blocks_are_distinct(self):
+        allocator = PrefixAllocator()
+        blocks = [allocator.allocate_ipv6() for _ in range(20)]
+        assert len(set(blocks)) == 20
+        assert all(block.endswith("/32") for block in blocks)
+
+    def test_many_allocations_supported(self):
+        allocator = PrefixAllocator()
+        blocks = [allocator.allocate_ipv4() for _ in range(300)]
+        assert len(set(blocks)) == 300
+
+
+class TestInterfaceAddressPool:
+    def test_draws_are_unique(self):
+        pool = InterfaceAddressPool(["10.0.0.0/24"], random.Random(1))
+        drawn = pool.draw(50) + pool.draw(50)
+        assert len(set(drawn)) == 100
+        assert pool.used_count == 100
+
+    def test_empty_prefix_list_rejected(self):
+        with pytest.raises(TopologyError):
+            InterfaceAddressPool([], random.Random(1))
+
+    def test_exhaustion_raises(self):
+        pool = InterfaceAddressPool(["192.0.2.0/29"], random.Random(1))
+        with pytest.raises(TopologyError):
+            pool.draw(100)
+
+    def test_ipv6_pool(self):
+        pool = InterfaceAddressPool(["2001:db8:1::/48"], random.Random(2))
+        drawn = pool.draw(30)
+        assert len(set(drawn)) == 30

@@ -1,0 +1,78 @@
+"""Tests for time-windowed IDS rate limiting.
+
+Intrusion-detection blocks are temporary: probes from the same vantage point
+on a later day start from a clean slate.  This is what lets the active IPv6
+campaign (run a day after the IPv4 campaign) keep its coverage even though
+the IPv4 campaign exhausted some ASes' per-vantage thresholds.
+"""
+
+from repro.protocols.ssh.server import SshServerConfig
+from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
+from repro.simnet.device import Device, DeviceRole, Interface
+from repro.simnet.network import ProbeOutcome, SimulatedInternet, VantagePoint
+
+
+def build_network(threshold=2, window=3600.0):
+    registry = AsRegistry()
+    registry.add(
+        AutonomousSystem(
+            asn=14061, name="Cloud", role=AsRole.CLOUD, rate_limit_threshold=threshold
+        )
+    )
+    devices = [
+        Device(
+            device_id=f"srv-{i}",
+            role=DeviceRole.SERVER,
+            home_asn=14061,
+            interfaces=[Interface(name="eth0", address=f"100.64.0.{i}", asn=14061)],
+            ssh_config=SshServerConfig.generate(f"srv-{i}"),
+        )
+        for i in range(1, 21)
+    ]
+    return SimulatedInternet(
+        registry=registry,
+        devices=devices,
+        seed=9,
+        loss_rate=0.0,
+        rate_limit_window=window,
+    )
+
+
+class TestRateLimitWindows:
+    def test_probes_within_one_window_get_limited(self):
+        network = build_network()
+        vantage = VantagePoint(name="single")
+        outcomes = [
+            network.probe_tcp_syn(f"100.64.0.{i}", 22, vantage, now=float(i))
+            for i in range(1, 21)
+        ]
+        assert ProbeOutcome.RATE_LIMITED in outcomes
+
+    def test_next_window_starts_fresh(self):
+        network = build_network(window=3600.0)
+        vantage = VantagePoint(name="single")
+        for i in range(1, 21):
+            network.probe_tcp_syn(f"100.64.0.{i}", 22, vantage, now=float(i))
+        # One hour later the same vantage point is under the threshold again.
+        later = [
+            network.probe_tcp_syn(f"100.64.0.{i}", 22, vantage, now=3600.0 + i)
+            for i in range(1, 3)
+        ]
+        assert later == [ProbeOutcome.RESPONSIVE, ProbeOutcome.RESPONSIVE]
+
+    def test_windows_are_per_vantage(self):
+        network = build_network()
+        first = VantagePoint(name="vp-1")
+        second = VantagePoint(name="vp-2")
+        for i in range(1, 21):
+            network.probe_tcp_syn(f"100.64.0.{i}", 22, first, now=float(i))
+        outcome = network.probe_tcp_syn("100.64.0.1", 22, second, now=30.0)
+        assert outcome is ProbeOutcome.RESPONSIVE
+
+    def test_distributed_vantage_never_limited_regardless_of_window(self):
+        network = build_network(threshold=1)
+        vantage = VantagePoint(name="fleet", distributed=True)
+        outcomes = {
+            network.probe_tcp_syn(f"100.64.0.{i}", 22, vantage, now=float(i)) for i in range(1, 21)
+        }
+        assert outcomes == {ProbeOutcome.RESPONSIVE}

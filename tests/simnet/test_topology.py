@@ -1,0 +1,111 @@
+"""Tests for the topology generator."""
+
+import pytest
+
+from repro.net.addresses import AddressFamily
+from repro.simnet.asn import AsRole
+from repro.simnet.device import DeviceRole, ServiceType
+from repro.simnet.topology import TopologyConfig, generate_topology, small_topology_config
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_topology(small_topology_config(seed=11))
+
+
+class TestStructure:
+    def test_all_roles_present(self, network):
+        roles = {autonomous_system.role for autonomous_system in network.registry}
+        assert {AsRole.CLOUD, AsRole.ISP, AsRole.ENTERPRISE} <= roles
+
+    def test_as_counts_match_config(self, network):
+        config = small_topology_config(seed=11)
+        assert len(network.registry.by_role(AsRole.CLOUD)) == config.n_cloud_ases
+        assert len(network.registry.by_role(AsRole.ISP)) == config.n_isp_ases
+        assert len(network.registry.by_role(AsRole.ENTERPRISE)) == config.n_enterprise_ases
+
+    def test_every_interface_asn_registered(self, network):
+        for device in network.devices():
+            for interface in device.interfaces:
+                assert interface.asn in network.registry
+
+    def test_addresses_unique_across_devices(self, network):
+        addresses = [address for device in network.devices() for address in device.addresses()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_deterministic_given_seed(self):
+        first = generate_topology(small_topology_config(seed=5))
+        second = generate_topology(small_topology_config(seed=5))
+        assert sorted(first.all_addresses()) == sorted(second.all_addresses())
+        first_devices = {device.device_id: tuple(device.addresses()) for device in first.devices()}
+        second_devices = {device.device_id: tuple(device.addresses()) for device in second.devices()}
+        assert first_devices == second_devices
+
+    def test_different_seeds_differ(self):
+        first = generate_topology(small_topology_config(seed=5))
+        second = generate_topology(small_topology_config(seed=6))
+        assert sorted(first.all_addresses()) != sorted(second.all_addresses())
+
+
+class TestServiceMix:
+    def test_cloud_servers_run_ssh_not_bgp(self, network):
+        servers = [device for device in network.devices() if device.role is DeviceRole.SERVER]
+        assert servers
+        assert all(device.ssh_config is not None for device in servers)
+        assert all(device.bgp_config is None for device in servers)
+
+    def test_some_routers_speak_bgp(self, network):
+        speakers = [device for device in network.devices() if device.bgp_config is not None]
+        assert speakers
+        assert all(device.role is DeviceRole.BORDER_ROUTER for device in speakers)
+
+    def test_bgp_identifier_is_first_interface_address(self, network):
+        for device in network.devices():
+            if device.bgp_config is not None and device.bgp_config.bgp_identifier != "1.1.1.1":
+                assert device.bgp_config.bgp_identifier in device.ipv4_addresses()
+
+    def test_snmp_mostly_on_routers(self, network):
+        router_roles = {DeviceRole.CORE_ROUTER, DeviceRole.BORDER_ROUTER, DeviceRole.ACCESS_ROUTER}
+        snmp_devices = [device for device in network.devices() if device.snmp_config is not None]
+        assert snmp_devices
+        router_share = sum(1 for device in snmp_devices if device.role in router_roles) / len(snmp_devices)
+        assert router_share > 0.8
+
+    def test_border_routers_can_span_multiple_ases(self, network):
+        borders = [
+            device
+            for device in network.devices()
+            if device.role is DeviceRole.BORDER_ROUTER and device.home_asn in
+            {a.asn for a in network.registry.by_role(AsRole.ISP)}
+        ]
+        assert borders
+        assert any(len(device.asns()) > 1 for device in borders)
+
+    def test_dual_stack_devices_exist(self, network):
+        assert any(device.is_dual_stack for device in network.devices())
+        assert network.all_addresses(AddressFamily.IPV6)
+
+    def test_some_devices_have_acls(self, network):
+        assert any(device.service_acl for device in network.devices())
+
+    def test_shared_ssh_keys_exist(self, network):
+        fingerprints = {}
+        for device in network.devices():
+            if device.ssh_config is None:
+                continue
+            fingerprint = device.ssh_config.host_key.fingerprint()
+            fingerprints.setdefault(fingerprint, []).append(device.device_id)
+        assert any(len(device_ids) >= 2 for device_ids in fingerprints.values())
+
+
+class TestScaling:
+    def test_scale_multiplies_device_counts(self):
+        small = generate_topology(small_topology_config(seed=3))
+        config = small_topology_config(seed=3)
+        config.scale = 2.0
+        large = generate_topology(config)
+        assert len(large.devices()) > 1.5 * len(small.devices())
+
+    def test_scaled_helper_minimum_one(self):
+        config = TopologyConfig(scale=0.001)
+        assert config.scaled(10) == 1

@@ -1,0 +1,117 @@
+"""Tests for the normalised observation schema."""
+
+from repro.net.addresses import AddressFamily
+from repro.protocols.bgp.client import BgpScanRecord
+from repro.protocols.bgp.messages import BgpOpen
+from repro.protocols.bgp.capabilities import Capability
+from repro.protocols.snmp.client import SnmpScanRecord
+from repro.protocols.ssh.client import SshScanRecord
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation, ObservationDataset, observation_from_record
+
+
+def ssh_record(address="10.0.0.1"):
+    return SshScanRecord(
+        address=address,
+        success=True,
+        banner="SSH-2.0-OpenSSH_9.3",
+        host_key_algorithm="ssh-ed25519",
+        host_key_fingerprint="SHA256:abcdef",
+        capability_signature="cafe" * 16,
+    )
+
+
+def bgp_record(address="10.0.0.2"):
+    message = BgpOpen(
+        my_as=3320,
+        hold_time=180,
+        bgp_identifier="10.0.0.2",
+        capabilities=(Capability.route_refresh(),),
+    )
+    return BgpScanRecord(address=address, success=True, open_message=message)
+
+
+def snmp_record(address="10.0.0.3"):
+    return SnmpScanRecord(
+        address=address, success=True, engine_id_hex="80001f880301020304", engine_boots=4, engine_time=99
+    )
+
+
+class TestConversion:
+    def test_ssh_fields(self):
+        observation = observation_from_record(ssh_record(), source="active", asn=14061)
+        assert observation.protocol is ServiceType.SSH
+        assert observation.field("banner") == "SSH-2.0-OpenSSH_9.3"
+        assert observation.field("host_key_fingerprint") == "SHA256:abcdef"
+        assert observation.asn == 14061
+        assert observation.has_identifier_material
+        assert observation.is_standard_port()
+
+    def test_bgp_fields(self):
+        observation = observation_from_record(bgp_record(), source="active")
+        assert observation.protocol is ServiceType.BGP
+        assert observation.field("bgp_identifier") == "10.0.0.2"
+        assert observation.field("asn") == "3320"
+        assert observation.field("hold_time") == "180"
+        assert "2:" in observation.field("capabilities")
+
+    def test_bgp_without_open_has_no_identifier_material(self):
+        record = BgpScanRecord(address="10.0.0.9", success=True, closed_immediately=True)
+        observation = observation_from_record(record, source="active")
+        assert not observation.has_identifier_material
+
+    def test_snmp_fields(self):
+        observation = observation_from_record(snmp_record(), source="active")
+        assert observation.protocol is ServiceType.SNMPV3
+        assert observation.field("engine_id") == "80001f880301020304"
+
+    def test_port_override(self):
+        observation = observation_from_record(ssh_record(), source="censys", port=2222)
+        assert observation.port == 2222
+        assert not observation.is_standard_port()
+
+    def test_field_default(self):
+        observation = observation_from_record(ssh_record(), source="active")
+        assert observation.field("missing", "fallback") == "fallback"
+
+    def test_family_detection(self):
+        observation = observation_from_record(ssh_record(address="2001:db8::7"), source="active")
+        assert observation.family is AddressFamily.IPV6
+
+
+class TestObservationDataset:
+    def build(self):
+        dataset = ObservationDataset("active")
+        dataset.add(observation_from_record(ssh_record("10.0.0.1"), source="active", asn=1))
+        dataset.add(observation_from_record(ssh_record("2001:db8::1"), source="active", asn=1))
+        dataset.add(observation_from_record(bgp_record("10.0.0.2"), source="active", asn=2))
+        dataset.add(observation_from_record(snmp_record("10.0.0.3"), source="active", asn=2))
+        return dataset
+
+    def test_lengths_and_iteration(self):
+        dataset = self.build()
+        assert len(dataset) == 4
+        assert len(list(dataset)) == 4
+
+    def test_by_protocol(self):
+        dataset = self.build()
+        assert len(dataset.by_protocol(ServiceType.SSH)) == 2
+        assert len(dataset.by_protocol(ServiceType.BGP)) == 1
+
+    def test_addresses_filters(self):
+        dataset = self.build()
+        assert dataset.addresses(ServiceType.SSH) == {"10.0.0.1", "2001:db8::1"}
+        assert dataset.addresses(ServiceType.SSH, AddressFamily.IPV4) == {"10.0.0.1"}
+        assert dataset.addresses(family=AddressFamily.IPV4) == {"10.0.0.1", "10.0.0.2", "10.0.0.3"}
+
+    def test_asns(self):
+        dataset = self.build()
+        assert dataset.asns() == {1, 2}
+        assert dataset.asns(ServiceType.SSH) == {1}
+
+    def test_protocols_and_filter(self):
+        dataset = self.build()
+        assert dataset.protocols() == {ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3}
+        ssh_only = dataset.filter(lambda obs: obs.protocol is ServiceType.SSH)
+        assert len(ssh_only) == 2
+        assert ssh_only.name == "active"

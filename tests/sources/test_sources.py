@@ -1,0 +1,151 @@
+"""Tests for the active campaign, the Censys-like source, hitlist, and merge."""
+
+import pytest
+
+from repro.net.addresses import AddressFamily, is_ipv6
+from repro.simnet.device import DeviceRole, ServiceType
+from repro.simnet.topology import generate_topology, small_topology_config
+from repro.sources.active import ActiveMeasurement
+from repro.sources.censys import CensysSource
+from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
+from repro.sources.merge import filter_standard_ports, merge_datasets
+
+
+@pytest.fixture(scope="module")
+def network():
+    config = small_topology_config(seed=31)
+    config.loss_rate = 0.0
+    config.cloud_rate_limited_fraction = 0.0
+    config.isp_rate_limited_fraction = 0.0
+    return generate_topology(config)
+
+
+@pytest.fixture(scope="module")
+def active_ipv4(network):
+    return ActiveMeasurement(network, seed=5).run_ipv4()
+
+
+@pytest.fixture(scope="module")
+def censys_ipv4(network):
+    return CensysSource(network, seed=6).snapshot_ipv4()
+
+
+class TestHitlist:
+    def test_contains_only_ipv6(self, network):
+        hitlist = build_ipv6_hitlist(network, HitlistConfig(seed=1))
+        assert hitlist
+        assert all(is_ipv6(address) for address in hitlist)
+
+    def test_coverage_bias_toward_servers(self, network):
+        hitlist = set(build_ipv6_hitlist(network, HitlistConfig(seed=1, noise_addresses=0)))
+        server_total, server_hit, router_total, router_hit = 0, 0, 0, 0
+        for device in network.devices():
+            v6 = device.ipv6_addresses()
+            if not v6:
+                continue
+            if device.role is DeviceRole.SERVER:
+                server_total += len(v6)
+                server_hit += sum(1 for address in v6 if address in hitlist)
+            elif device.role in (DeviceRole.CORE_ROUTER, DeviceRole.BORDER_ROUTER, DeviceRole.ACCESS_ROUTER):
+                router_total += len(v6)
+                router_hit += sum(1 for address in v6 if address in hitlist)
+        assert server_total and router_total
+        assert server_hit / server_total > router_hit / router_total
+
+    def test_noise_addresses_do_not_respond(self, network):
+        hitlist = build_ipv6_hitlist(network, HitlistConfig(seed=1, noise_addresses=50))
+        noise = [address for address in hitlist if address.startswith("2001:db8:dead")]
+        assert len(noise) == 50
+        assert all(network.device_for(address) is None for address in noise)
+
+    def test_deterministic(self, network):
+        assert build_ipv6_hitlist(network, HitlistConfig(seed=3)) == build_ipv6_hitlist(
+            network, HitlistConfig(seed=3)
+        )
+
+
+class TestActiveMeasurement:
+    def test_ipv4_covers_all_protocols(self, active_ipv4):
+        assert active_ipv4.protocols() == {ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3}
+
+    def test_ipv4_observations_have_asn(self, active_ipv4):
+        assert all(observation.asn is not None for observation in active_ipv4)
+
+    def test_ssh_coverage_matches_ground_truth_without_loss(self, network, active_ipv4):
+        expected = {
+            address
+            for device in network.devices()
+            for address in device.service_addresses(ServiceType.SSH)
+            if not is_ipv6(address)
+        }
+        assert active_ipv4.addresses(ServiceType.SSH, AddressFamily.IPV4) == expected
+
+    def test_ipv6_scan_limited_by_hitlist(self, network):
+        hitlist = build_ipv6_hitlist(network, HitlistConfig(seed=2, noise_addresses=0))
+        dataset = ActiveMeasurement(network, seed=7).run_ipv6(hitlist)
+        assert dataset.addresses(family=AddressFamily.IPV6) <= set(hitlist)
+        assert len(dataset.addresses(family=AddressFamily.IPV6)) > 0
+
+    def test_source_name(self, active_ipv4):
+        assert active_ipv4.name == "active"
+        assert all(observation.source == "active" for observation in active_ipv4)
+
+
+class TestCensysSource:
+    def test_censys_has_no_snmp(self, censys_ipv4):
+        assert ServiceType.SNMPV3 not in censys_ipv4.protocols()
+
+    def test_censys_misses_some_ssh_hosts(self, network, censys_ipv4):
+        expected = {
+            address
+            for device in network.devices()
+            for address in device.service_addresses(ServiceType.SSH)
+            if not is_ipv6(address)
+        }
+        censys_ssh = censys_ipv4.addresses(ServiceType.SSH, AddressFamily.IPV4)
+        standard = filter_standard_ports(censys_ipv4).addresses(ServiceType.SSH, AddressFamily.IPV4)
+        assert standard < expected
+        assert len(censys_ssh) > 0
+
+    def test_censys_reports_nonstandard_ports(self, censys_ipv4):
+        assert any(not observation.is_standard_port() for observation in censys_ipv4)
+
+    def test_censys_ipv6_snapshot_is_nonstandard_ports_only(self, network):
+        dataset = CensysSource(network, seed=8).snapshot_ipv6()
+        assert all(observation.port in (80, 443) for observation in dataset)
+
+
+class TestMerge:
+    def test_union_is_superset_of_both_standard_port_views(self, active_ipv4, censys_ipv4):
+        union = merge_datasets(active_ipv4, censys_ipv4)
+        active_standard = filter_standard_ports(active_ipv4)
+        censys_standard = filter_standard_ports(censys_ipv4)
+        for protocol in (ServiceType.SSH, ServiceType.BGP):
+            assert active_standard.addresses(protocol) <= union.addresses(protocol)
+            assert censys_standard.addresses(protocol) <= union.addresses(protocol)
+
+    def test_union_deduplicates(self, active_ipv4, censys_ipv4):
+        union = merge_datasets(active_ipv4, censys_ipv4)
+        keys = [(observation.address, observation.protocol) for observation in union]
+        assert len(keys) == len(set(keys))
+
+    def test_union_excludes_nonstandard_ports(self, censys_ipv4):
+        union = merge_datasets(censys_ipv4)
+        assert all(observation.is_standard_port() for observation in union)
+
+    def test_union_prefers_identifier_material(self, active_ipv4, censys_ipv4):
+        union = merge_datasets(active_ipv4, censys_ipv4)
+        by_key = {}
+        for observation in list(active_ipv4) + list(censys_ipv4):
+            if not observation.is_standard_port():
+                continue
+            key = (observation.address, observation.protocol)
+            by_key.setdefault(key, []).append(observation)
+        for observation in union:
+            key = (observation.address, observation.protocol)
+            if any(candidate.has_identifier_material for candidate in by_key[key]):
+                assert observation.has_identifier_material
+
+    def test_protocol_filter(self, active_ipv4):
+        union = merge_datasets(active_ipv4, protocols=(ServiceType.SSH,))
+        assert union.protocols() == {ServiceType.SSH}

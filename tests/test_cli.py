@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScanAndResolve:
+    def test_scan_writes_datasets(self, tmp_path):
+        exit_code = main(
+            ["scan", "--scale", "0.1", "--seed", "3", "--output", str(tmp_path), "--sources", "active", "censys"]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "active.jsonl").exists()
+        assert (tmp_path / "censys.jsonl").exists()
+        first_line = (tmp_path / "active.jsonl").read_text().splitlines()[0]
+        record = json.loads(first_line)
+        assert {"address", "protocol", "fields"} <= set(record)
+
+    def test_scan_then_resolve_roundtrip(self, tmp_path, capsys):
+        scan_dir = tmp_path / "scan"
+        out_dir = tmp_path / "resolved"
+        assert main(["scan", "--scale", "0.1", "--seed", "3", "--output", str(scan_dir)]) == 0
+        assert (
+            main(
+                [
+                    "resolve",
+                    str(scan_dir / "active.jsonl"),
+                    str(scan_dir / "censys.jsonl"),
+                    "--output",
+                    str(out_dir),
+                    "--name",
+                    "cli-test",
+                ]
+            )
+            == 0
+        )
+        assert (out_dir / "ipv4_alias_sets.json").exists()
+        assert (out_dir / "ipv6_alias_sets.json").exists()
+        report = (out_dir / "report.md").read_text()
+        assert report.startswith("# Alias resolution report")
+        captured = capsys.readouterr().out
+        assert "dual-stack sets:" in captured
+
+    def test_scan_active_only(self, tmp_path):
+        assert main(["scan", "--scale", "0.1", "--output", str(tmp_path), "--sources", "active"]) == 0
+        assert (tmp_path / "active.jsonl").exists()
+        assert not (tmp_path / "censys.jsonl").exists()
+
+
+class TestExperimentsAndClaims:
+    def test_experiments_subset(self, capsys):
+        exit_code = main(["experiments", "--scale", "0.1", "--seed", "5", "--only", "table4", "figure5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "=== table4" in output
+        assert "=== figure5" in output
+        assert "=== table1" not in output
+
+    def test_experiments_unknown_name(self, capsys):
+        exit_code = main(["experiments", "--scale", "0.1", "--only", "table99"])
+        assert exit_code == 2
+
+    def test_claims_runs_and_reports(self, capsys):
+        exit_code = main(["claims", "--scale", "0.1", "--seed", "5"])
+        output = capsys.readouterr().out
+        assert "C1:" in output and "C9:" in output
+        assert exit_code in (0, 1)
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
