@@ -1,0 +1,135 @@
+"""Benchmark of the single-pass resolution pipeline.
+
+Covers the end-to-end ``run_alias_resolution`` path for all three sources
+(active, censys, union), the :class:`ObservationIndex` build step in
+isolation, and a head-to-head against the seed's nine-pass structure (six
+per-(protocol, family) groupings plus three dual-stack passes, re-extracting
+identifiers along the way).  The extraction-count assertions prove the
+engine extracts each observation's identifier exactly once, where the
+nine-pass layout extracts each twice.
+
+Run with the usual harness, e.g.::
+
+    REPRO_BENCH_SCALE=1.0 PYTHONPATH=src python -m pytest benchmarks \
+        -o python_files='bench_*.py' -o python_functions='bench_*' -q
+"""
+
+import time
+
+from repro.core.alias_resolution import AliasResolver
+from repro.core.dual_stack import infer_dual_stack, union_dual_stack
+from repro.core.engine import PROTOCOLS, ObservationIndex, ResolutionEngine
+from repro.core.identifiers import count_extractions
+from repro.core.pipeline import run_alias_resolution
+from repro.net.addresses import AddressFamily
+
+
+def _observations(scenario, source):
+    return list(scenario.observations_for(source))
+
+
+def _nine_pass_reference(observations, name="dataset"):
+    """The seed pipeline's pass structure, for wall-clock comparison."""
+    observation_list = list(observations)
+    resolver = AliasResolver()
+    ipv4 = {}
+    ipv6 = {}
+    dual = {}
+    for protocol in PROTOCOLS:
+        ipv4[protocol] = resolver.group(
+            observation_list, protocol=protocol, family=AddressFamily.IPV4, name=f"{name}:{protocol.value}:ipv4"
+        )
+        ipv6[protocol] = resolver.group(
+            observation_list, protocol=protocol, family=AddressFamily.IPV6, name=f"{name}:{protocol.value}:ipv6"
+        )
+        dual[protocol] = infer_dual_stack(
+            observation_list, protocol=protocol, name=f"{name}:{protocol.value}:dual"
+        )
+    AliasResolver.union(ipv4.values(), name=f"{name}:union:ipv4")
+    AliasResolver.union(ipv6.values(), name=f"{name}:union:ipv6")
+    union_dual_stack(dual.values(), name=f"{name}:union:dual")
+
+
+def _bench_source(benchmark, scenario, source):
+    observations = _observations(scenario, source)
+    # Counted pass first, un-hooked timed pass second, so the recorded timing
+    # does not pay for the instrumentation callback.
+    with count_extractions() as counter:
+        run_alias_resolution(observations, name=source)
+    # The single-pass engine extracts each observation's identifier exactly once.
+    assert counter.count == len(observations)
+    report = benchmark.pedantic(
+        lambda: run_alias_resolution(observations, name=source), rounds=1, iterations=1
+    )
+    assert len(report.ipv4_union) > 0
+    return report
+
+
+def bench_pipeline_active(benchmark, scenario):
+    report = _bench_source(benchmark, scenario, "active")
+    assert len(report.dual_stack_union) > 0
+
+
+def bench_pipeline_censys(benchmark, scenario):
+    # The Censys snapshot is IPv4-only, so no dual-stack sets are expected.
+    report = _bench_source(benchmark, scenario, "censys")
+    assert len(report.ipv6_union) == 0
+
+
+def bench_pipeline_union(benchmark, scenario):
+    report = _bench_source(benchmark, scenario, "union")
+    assert len(report.dual_stack_union) > 0
+
+
+def bench_index_build(benchmark, scenario):
+    """The index pass in isolation — the part that touches raw observations."""
+    observations = _observations(scenario, "union")
+    with count_extractions() as counter:
+        ObservationIndex.build(observations)
+    assert counter.count == len(observations)
+    index = benchmark.pedantic(
+        lambda: ObservationIndex.build(observations), rounds=1, iterations=1
+    )
+    assert index.observed == len(observations)
+    assert 0 < index.indexed <= index.observed
+
+
+def bench_single_pass_vs_nine_pass(benchmark, scenario):
+    """Engine vs the seed's nine-pass structure on the union dataset."""
+    observations = _observations(scenario, "union")
+    engine = ResolutionEngine()
+
+    with count_extractions() as single_counter:
+        engine.resolve(observations, name="union")
+    with count_extractions() as nine_counter:
+        _nine_pass_reference(observations, name="union")
+    assert single_counter.count == len(observations)
+    # Nine passes extract twice per observation: once in its (protocol,
+    # family) grouping and once in its protocol's dual-stack pass.
+    assert nine_counter.count == 2 * len(observations)
+
+    rounds = 3
+    single_time = min(
+        _timed(lambda: engine.resolve(observations, name="union")) for _ in range(rounds)
+    )
+    nine_time = min(
+        _timed(lambda: _nine_pass_reference(observations, name="union")) for _ in range(rounds)
+    )
+    print()
+    print(
+        f"single-pass {single_time * 1000:.1f} ms vs nine-pass {nine_time * 1000:.1f} ms "
+        f"({nine_time / single_time:.2f}x) over {len(observations)} observations"
+    )
+    # Below a few thousand observations constant factors dominate and the
+    # race is noise; at REPRO_BENCH_SCALE=1.0 (~17k observations) the
+    # single-pass engine must win on wall clock, not just extraction count.
+    if len(observations) >= 5000:
+        assert single_time < nine_time
+
+    benchmark.pedantic(lambda: engine.resolve(observations, name="union"), rounds=1, iterations=1)
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    callable_()
+    return time.perf_counter() - start

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.baselines.ipid import collect_interleaved, shared_counter_test
+from repro.core.alias_resolution import UnionFind
 from repro.simnet.network import SimulatedInternet, VantagePoint
 
 
@@ -65,24 +66,17 @@ class AllyProber:
         Quadratic in the number of addresses — usable only for small target
         lists, which is precisely Ally's historical limitation.
         """
-        parent = {address: address for address in addresses}
-
-        def find(address: str) -> str:
-            while parent[address] != address:
-                parent[address] = parent[parent[address]]
-                address = parent[address]
-            return address
+        union_find = UnionFind()
+        for address in addresses:
+            union_find.add(address)
 
         now = start_time
         for index, left in enumerate(addresses):
             for right in addresses[index + 1 :]:
-                if find(left) == find(right):
+                if union_find.find(left) == union_find.find(right):
                     continue
                 verdict = self.test_pair(left, right, start_time=now)
                 now += 2 * self._rounds * self._interval
                 if verdict.aliases:
-                    parent[find(right)] = find(left)
-        groups: dict[str, set[str]] = {}
-        for address in addresses:
-            groups.setdefault(find(address), set()).add(address)
-        return [frozenset(group) for group in groups.values()]
+                    union_find.union(left, right)
+        return [frozenset(group) for group in union_find.groups()]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.core.alias_resolution import UnionFind
 from repro.simnet.network import SimulatedInternet, VantagePoint
 
 
@@ -51,33 +52,15 @@ class IffinderProber:
 
     def resolve(self, addresses: list[str], start_time: float = 0.0) -> list[frozenset[str]]:
         """Probe every address and group aliases revealed by mismatched sources."""
-        parent: dict[str, str] = {}
-
-        def find(address: str) -> str:
-            parent.setdefault(address, address)
-            while parent[address] != address:
-                parent[address] = parent[parent[address]]
-                address = parent[address]
-            return address
-
-        def union(left: str, right: str) -> None:
-            left_root, right_root = find(left), find(right)
-            if left_root != right_root:
-                parent[right_root] = left_root
-
+        union_find = UnionFind()
         now = start_time
-        observations = []
         for address in addresses:
             observation = self.probe(address, now=now)
-            observations.append(observation)
             now += 1.0 / self._rate
-            find(address)
+            union_find.add(address)
             if observation.reveals_alias:
-                union(address, observation.icmp_source)
-        groups: dict[str, set[str]] = {}
-        for address in parent:
-            groups.setdefault(find(address), set()).add(address)
-        return [frozenset(group) for group in groups.values()]
+                union_find.union(address, observation.icmp_source)
+        return [frozenset(group) for group in union_find.groups()]
 
     def observations(self, addresses: list[str], start_time: float = 0.0) -> list[IffinderObservation]:
         """Raw probe outcomes, for analyses that need per-address detail."""

@@ -33,6 +33,7 @@ from repro.baselines.ipid import (
     collect_series,
     shared_counter_test,
 )
+from repro.core.alias_resolution import UnionFind
 from repro.simnet.network import SimulatedInternet, VantagePoint
 
 
@@ -164,13 +165,9 @@ class MidarProber:
                 finished_at=now,
             )
         # Pairwise corroboration over velocity-compatible pairs.
-        parent = {address: address for address in usable}
-
-        def find(address: str) -> str:
-            while parent[address] != address:
-                parent[address] = parent[parent[address]]
-                address = parent[address]
-            return address
+        union_find = UnionFind()
+        for address in usable:
+            union_find.add(address)
 
         for index, left in enumerate(usable):
             for right in usable[index + 1 :]:
@@ -178,11 +175,8 @@ class MidarProber:
                     continue
                 shares, now = self._pair_shares_counter(left, right, now)
                 if shares:
-                    parent[find(right)] = find(left)
-        groups: dict[str, set[str]] = {}
-        for address in usable:
-            groups.setdefault(find(address), set()).add(address)
-        partition = [frozenset(group) for group in groups.values()]
+                    union_find.union(left, right)
+        partition = [frozenset(group) for group in union_find.groups()]
         agrees = len(partition) == 1
         return MidarSetVerdict(
             candidate=frozenset(members),

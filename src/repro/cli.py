@@ -25,7 +25,7 @@ from repro.core.pipeline import run_alias_resolution
 from repro.experiments import runner
 from repro.experiments.scenario import PaperScenario, ScenarioConfig
 from repro.io.datasets import load_observations, save_alias_sets, save_observations
-from repro.sources.records import ObservationDataset
+from repro.sources.records import ObservationDataset, iter_observations
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,7 +74,9 @@ def _command_scan(args: argparse.Namespace) -> int:
     args.output.mkdir(parents=True, exist_ok=True)
     written = []
     if "active" in args.sources:
-        active = ObservationDataset("active", list(scenario.active_ipv4) + list(scenario.active_ipv6))
+        active = ObservationDataset(
+            "active", iter_observations(scenario.active_ipv4, scenario.active_ipv6)
+        )
         path = args.output / "active.jsonl"
         save_observations(active, path)
         written.append((path, len(active)))
@@ -88,12 +90,13 @@ def _command_scan(args: argparse.Namespace) -> int:
 
 
 def _command_resolve(args: argparse.Namespace) -> int:
-    observations = []
+    datasets = []
     for path in args.datasets:
         dataset = load_observations(path)
-        observations.extend(dataset)
+        datasets.append(dataset)
         print(f"loaded {path} ({len(dataset)} observations)")
-    report = run_alias_resolution(observations, name=args.name)
+    # Feed the loaded datasets through the single-pass engine as one stream.
+    report = run_alias_resolution(iter_observations(*datasets), name=args.name)
     args.output.mkdir(parents=True, exist_ok=True)
     save_alias_sets(report.ipv4_union, args.output / "ipv4_alias_sets.json")
     save_alias_sets(report.ipv6_union, args.output / "ipv6_alias_sets.json")

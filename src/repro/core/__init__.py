@@ -12,26 +12,35 @@ This package implements the paper's technique proper:
   identifier into dual-stack sets.
 * :mod:`repro.core.validation` — cross-protocol and cross-technique
   partition comparison.
+* :mod:`repro.core.engine` — the single-pass resolution engine: one
+  :class:`~repro.core.engine.ObservationIndex` pass extracts each
+  identifier exactly once, then per-protocol collections, cross-protocol
+  unions and dual-stack collections are all derived from the index.
 * :mod:`repro.core.pipeline` — the one-call API producing everything the
-  paper's evaluation reports.
+  paper's evaluation reports (a facade over the engine).
 """
 
-from repro.core.alias_resolution import AliasResolver
+from repro.core.alias_resolution import AliasResolver, UnionFind
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.core.dual_stack import DualStackCollection, DualStackSet, infer_dual_stack, union_dual_stack
 from repro.core.identifiers import (
     DeviceIdentifier,
     IdentifierOptions,
     bgp_identifier,
+    count_extractions,
     extract_identifier,
     snmp_identifier,
     ssh_identifier,
 )
+from repro.core.engine import ObservationIndex, ResolutionEngine
 from repro.core.pipeline import AliasReport, run_alias_resolution
 from repro.core.validation import ValidationResult, cross_validate
 
 __all__ = [
     "AliasResolver",
+    "UnionFind",
+    "ObservationIndex",
+    "ResolutionEngine",
     "AliasSet",
     "AliasSetCollection",
     "DualStackCollection",
@@ -41,6 +50,7 @@ __all__ = [
     "DeviceIdentifier",
     "IdentifierOptions",
     "bgp_identifier",
+    "count_extractions",
     "extract_identifier",
     "snmp_identifier",
     "ssh_identifier",

@@ -6,12 +6,17 @@ The union step merges per-protocol collections with a union-find over shared
 addresses, reproducing how the paper consolidates SSH, BGP and SNMPv3 into
 one set of alias sets (3% of addresses respond to more than one service and
 act as bridges).
+
+The batch pipeline (:mod:`repro.core.engine`) derives its per-protocol
+collections from a single :class:`~repro.core.engine.ObservationIndex` pass
+and feeds them through :meth:`AliasResolver.union`; :meth:`AliasResolver.group`
+remains the one-shot API for callers holding a raw observation iterable.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable
+from typing import Hashable, Iterable
 
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
@@ -20,24 +25,103 @@ from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
 
 
-class _UnionFind:
-    """Minimal union-find over hashable items."""
+class UnionFind:
+    """Union-find over hashable items: iterative find, union by rank.
+
+    The find is iterative (two pointer-chasing loops with full path
+    compression) rather than recursive, so million-item parent chains never
+    hit :class:`RecursionError`; union by rank keeps the chains short in the
+    first place.  Shared by the cross-protocol union, the dual-stack union
+    and the :mod:`repro.baselines` probing techniques.
+    """
+
+    __slots__ = ("_parent", "_rank")
 
     def __init__(self) -> None:
         self._parent: dict = {}
+        self._rank: dict = {}
 
-    def find(self, item):
-        parent = self._parent.setdefault(item, item)
-        if parent == item:
-            return item
-        root = self.find(parent)
-        self._parent[item] = root
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton component if unseen."""
+        self._parent.setdefault(item, item)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Root of ``item``'s component, registering ``item`` if unseen."""
+        parent = self._parent
+        root = parent.setdefault(item, item)
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
         return root
 
-    def union(self, left, right) -> None:
+    def union(self, left: Hashable, right: Hashable) -> Hashable:
+        """Merge the components of ``left`` and ``right``; returns the root."""
         left_root, right_root = self.find(left), self.find(right)
-        if left_root != right_root:
-            self._parent[right_root] = left_root
+        if left_root == right_root:
+            return left_root
+        left_rank = self._rank.get(left_root, 0)
+        right_rank = self._rank.get(right_root, 0)
+        if left_rank < right_rank:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        if left_rank == right_rank:
+            self._rank[left_root] = left_rank + 1
+        return left_root
+
+    def groups(self) -> list[set]:
+        """Connected components, ordered by each component's first-seen item."""
+        components: dict = {}
+        for item in self._parent:
+            components.setdefault(self.find(item), set()).add(item)
+        return list(components.values())
+
+
+def merge_overlapping(items: Iterable, addresses_of) -> list[list]:
+    """Group ``items`` into components connected through shared addresses.
+
+    The single algorithm behind both :meth:`AliasResolver.union` and
+    :func:`repro.core.dual_stack.union_dual_stack`: a rank-based union-find
+    over item indices, driven by an address→first-owner mapping so two items
+    merge the moment a second one claims an already-owned address.  Items
+    with no addresses are skipped.  Components are returned ordered by their
+    smallest member address, which makes the derived ``union:<n>`` labels
+    canonical (independent of input order).
+    """
+    contributing: list = []
+    address_sets: list = []
+    union_find = UnionFind()
+    owner: dict = {}
+    for item in items:
+        addresses = addresses_of(item)
+        if not addresses:
+            continue
+        index = len(contributing)
+        contributing.append(item)
+        address_sets.append(addresses)
+        union_find.add(index)
+        for address in addresses:
+            first_owner = owner.setdefault(address, index)
+            if first_owner != index:
+                union_find.union(first_owner, index)
+    components: dict = defaultdict(list)
+    smallest_address: dict = {}
+    for index, item in enumerate(contributing):
+        root = union_find.find(index)
+        components[root].append(item)
+        candidate = min(address_sets[index])
+        if root not in smallest_address or candidate < smallest_address[root]:
+            smallest_address[root] = candidate
+    return [
+        components[root]
+        for root in sorted(components, key=smallest_address.__getitem__)
+    ]
 
 
 class AliasResolver:
@@ -107,33 +191,26 @@ class AliasResolver:
 
         Addresses responsive to multiple protocols bridge their per-protocol
         sets into one combined set; sets with no overlap are kept as-is.
+
+        Components are built by :func:`merge_overlapping` directly from an
+        address→set mapping — no per-set sorting, one union-find item per
+        set rather than per address — and the synthetic ``union:<n>`` labels
+        are canonical (components ordered by smallest member address), so
+        the output is independent of collection iteration order.
         """
-        union_find = _UnionFind()
         contributing: list[AliasSet] = []
         address_asn: dict[str, int] = {}
         for collection in collections:
             address_asn.update(collection.address_asn)
-            for alias_set in collection:
-                contributing.append(alias_set)
-                addresses = sorted(alias_set.addresses)
-                for address in addresses[1:]:
-                    union_find.union(addresses[0], address)
-        # Merge members and protocols per connected component.
-        members: dict = defaultdict(set)
-        protocols: dict = defaultdict(set)
-        for alias_set in contributing:
-            if not alias_set.addresses:
-                continue
-            root = union_find.find(sorted(alias_set.addresses)[0])
-            members[root] |= alias_set.addresses
-            protocols[root] |= alias_set.protocols
+            contributing.extend(collection)
         result = AliasSetCollection(name, address_asn=address_asn)
-        for index, root in enumerate(sorted(members)):
+        components = merge_overlapping(contributing, lambda alias_set: alias_set.addresses)
+        for position, component in enumerate(components):
             result.add(
                 AliasSet(
-                    identifier=f"union:{index}",
-                    addresses=frozenset(members[root]),
-                    protocols=frozenset(protocols[root]),
+                    identifier=f"union:{position}",
+                    addresses=frozenset().union(*(s.addresses for s in component)),
+                    protocols=frozenset().union(*(s.protocols for s in component)),
                 )
             )
         return result

@@ -13,6 +13,7 @@ import dataclasses
 from collections import defaultdict
 from typing import Iterable, Iterator
 
+from repro.core.alias_resolution import merge_overlapping
 from repro.core.aliasset import AliasSetCollection
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
 from repro.simnet.device import ServiceType
@@ -162,48 +163,29 @@ def infer_dual_stack(
 def union_dual_stack(
     collections: Iterable[DualStackCollection], name: str = "union"
 ) -> DualStackCollection:
-    """Union dual-stack collections, merging sets that share any address."""
-    parent: dict[str, str] = {}
+    """Union dual-stack collections, merging sets that share any address.
 
-    def find(address: str) -> str:
-        root = parent.setdefault(address, address)
-        if root == address:
-            return address
-        resolved = find(root)
-        parent[address] = resolved
-        return resolved
-
-    def union(left: str, right: str) -> None:
-        left_root, right_root = find(left), find(right)
-        if left_root != right_root:
-            parent[right_root] = left_root
-
+    Shares :func:`~repro.core.alias_resolution.merge_overlapping` with
+    :meth:`AliasResolver.union`, so both unions have identical merge algebra
+    and canonical ``union:<n>`` labels ordered by each component's smallest
+    address.
+    """
     contributing: list[DualStackSet] = []
     address_asn: dict[str, int] = {}
     for collection in collections:
         address_asn.update(collection.address_asn)
-        for dual_set in collection:
-            contributing.append(dual_set)
-            addresses = sorted(dual_set.ipv4_addresses | dual_set.ipv6_addresses)
-            for address in addresses[1:]:
-                union(addresses[0], address)
-    ipv4_members: dict = defaultdict(set)
-    ipv6_members: dict = defaultdict(set)
-    protocols_by_root: dict = defaultdict(set)
-    for dual_set in contributing:
-        addresses = sorted(dual_set.ipv4_addresses | dual_set.ipv6_addresses)
-        root = find(addresses[0])
-        ipv4_members[root] |= dual_set.ipv4_addresses
-        ipv6_members[root] |= dual_set.ipv6_addresses
-        protocols_by_root[root] |= dual_set.protocols
+        contributing.extend(collection)
     result = DualStackCollection(name, address_asn=address_asn)
-    for index, root in enumerate(sorted(ipv4_members)):
+    components = merge_overlapping(
+        contributing, lambda dual_set: dual_set.ipv4_addresses | dual_set.ipv6_addresses
+    )
+    for position, component in enumerate(components):
         result.add(
             DualStackSet(
-                identifier=f"union:{index}",
-                ipv4_addresses=frozenset(ipv4_members[root]),
-                ipv6_addresses=frozenset(ipv6_members[root]),
-                protocols=frozenset(protocols_by_root[root]),
+                identifier=f"union:{position}",
+                ipv4_addresses=frozenset().union(*(d.ipv4_addresses for d in component)),
+                ipv6_addresses=frozenset().union(*(d.ipv6_addresses for d in component)),
+                protocols=frozenset().union(*(d.protocols for d in component)),
             )
         )
     return result

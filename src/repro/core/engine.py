@@ -1,0 +1,265 @@
+"""Single-pass resolution engine.
+
+The seed implementation of the pipeline walked the full observation list
+once per (protocol × family) grouping plus once per protocol for dual-stack
+inference — nine passes, each re-extracting identifiers.  This module
+replaces that with a two-stage architecture:
+
+1. **One index pass** — :class:`ObservationIndex` streams over the
+   observations exactly once, calls
+   :func:`~repro.core.identifiers.extract_identifier` exactly once per
+   observation, and buckets addresses by ``(protocol, family, identifier)``
+   (plus the per-bucket address→ASN mapping).
+2. **Derived collections** — per-protocol alias-set collections, dual-stack
+   collections, and the cross-protocol unions are all materialised from the
+   index without re-touching raw observations.
+
+:class:`ResolutionEngine` orchestrates the two stages and assembles the
+:class:`AliasReport` consumed by the experiments, the CLI and the analysis
+layer.  :func:`repro.core.pipeline.run_alias_resolution` is a thin facade
+over this engine, so the public API and its outputs are unchanged apart from
+the cross-protocol union labels, which are now canonical (ordered by
+smallest member address) instead of union-find-root ordered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.core.alias_resolution import AliasResolver
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.core.dual_stack import DualStackCollection, DualStackSet, union_dual_stack
+from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
+from repro.net.addresses import AddressFamily
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+#: Protocols the paper's evaluation reports on, in report order.
+PROTOCOLS = (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3)
+
+#: Bucket key: one (protocol, family) stratum of the index.
+_BucketKey = tuple[ServiceType, AddressFamily]
+
+
+class ObservationIndex:
+    """Identifier-keyed index built in one streaming pass over observations.
+
+    Within each ``(protocol, family)`` bucket, addresses are grouped by the
+    identifier value extracted from their observations; insertion order (the
+    first occurrence of each identifier in the stream) is preserved so the
+    derived collections enumerate sets in the same order the seed
+    implementation did.  Identifier values only collide within a protocol
+    (every extractor stamps its own :class:`ServiceType`), so bucketing by
+    the observation's protocol is equivalent to keying on the full
+    ``(protocol, value)`` identifier pair.
+    """
+
+    def __init__(self, options: IdentifierOptions = DEFAULT_OPTIONS) -> None:
+        self._options = options
+        self._members: dict[_BucketKey, dict[str, set[str]]] = {}
+        self._asn: dict[_BucketKey, dict[str, int]] = {}
+        self._observed = 0
+        self._indexed = 0
+
+    @classmethod
+    def build(
+        cls,
+        observations: Iterable[Observation],
+        options: IdentifierOptions = DEFAULT_OPTIONS,
+    ) -> "ObservationIndex":
+        """Index every observation of ``observations`` (streamed, not copied)."""
+        index = cls(options)
+        index.extend(observations)
+        return index
+
+    @property
+    def options(self) -> IdentifierOptions:
+        """The identifier construction options in use."""
+        return self._options
+
+    @property
+    def observed(self) -> int:
+        """Observations seen, including those without identifier material."""
+        return self._observed
+
+    @property
+    def indexed(self) -> int:
+        """Observations that contributed an identifier to the index."""
+        return self._indexed
+
+    def add(self, observation: Observation) -> bool:
+        """Index one observation; returns whether it carried an identifier."""
+        self._observed += 1
+        identifier = extract_identifier(observation, self._options)
+        if identifier is None:
+            return False
+        bucket_key = (observation.protocol, observation.family)
+        members = self._members.get(bucket_key)
+        if members is None:
+            members = self._members[bucket_key] = {}
+            self._asn[bucket_key] = {}
+        addresses = members.get(identifier.value)
+        if addresses is None:
+            addresses = members[identifier.value] = set()
+        addresses.add(observation.address)
+        if observation.asn is not None:
+            self._asn[bucket_key][observation.address] = observation.asn
+        self._indexed += 1
+        return True
+
+    def extend(self, observations: Iterable[Observation]) -> None:
+        """Index many observations."""
+        for observation in observations:
+            self.add(observation)
+
+    def alias_sets(
+        self,
+        protocol: ServiceType,
+        family: AddressFamily,
+        name: str | None = None,
+    ) -> AliasSetCollection:
+        """The ``(protocol, family)`` alias-set collection, from the index."""
+        bucket_key = (protocol, family)
+        members = self._members.get(bucket_key, {})
+        collection = AliasSetCollection(
+            name or f"{protocol.value}:{family.value}",
+            address_asn=self._asn.get(bucket_key, {}),
+        )
+        protocols = frozenset((protocol,))
+        for value, addresses in members.items():
+            collection.add(
+                AliasSet(
+                    identifier=value,
+                    addresses=frozenset(addresses),
+                    protocols=protocols,
+                )
+            )
+        return collection
+
+    def dual_stack(
+        self, protocol: ServiceType, name: str | None = None
+    ) -> DualStackCollection:
+        """Dual-stack sets for ``protocol``: identifiers seen in both families."""
+        ipv4_members = self._members.get((protocol, AddressFamily.IPV4), {})
+        ipv6_members = self._members.get((protocol, AddressFamily.IPV6), {})
+        address_asn = dict(self._asn.get((protocol, AddressFamily.IPV4), {}))
+        address_asn.update(self._asn.get((protocol, AddressFamily.IPV6), {}))
+        collection = DualStackCollection(
+            name or protocol.value, address_asn=address_asn
+        )
+        protocols = frozenset((protocol,))
+        for value, ipv4_addresses in ipv4_members.items():
+            ipv6_addresses = ipv6_members.get(value)
+            if not ipv6_addresses:
+                continue
+            collection.add(
+                DualStackSet(
+                    identifier=value,
+                    ipv4_addresses=frozenset(ipv4_addresses),
+                    ipv6_addresses=frozenset(ipv6_addresses),
+                    protocols=protocols,
+                )
+            )
+        return collection
+
+
+@dataclasses.dataclass
+class AliasReport:
+    """Full output of one alias-resolution run.
+
+    Attributes:
+        name: label of the observation set the report was built from.
+        ipv4: per-protocol IPv4 alias-set collections.
+        ipv6: per-protocol IPv6 alias-set collections.
+        ipv4_union: union of the per-protocol IPv4 collections.
+        ipv6_union: union of the per-protocol IPv6 collections.
+        dual_stack: per-protocol dual-stack collections.
+        dual_stack_union: union of the per-protocol dual-stack collections.
+    """
+
+    name: str
+    ipv4: dict[ServiceType, AliasSetCollection]
+    ipv6: dict[ServiceType, AliasSetCollection]
+    ipv4_union: AliasSetCollection
+    ipv6_union: AliasSetCollection
+    dual_stack: dict[ServiceType, DualStackCollection]
+    dual_stack_union: DualStackCollection
+
+    def non_singleton_counts(self, family: AddressFamily) -> dict[str, int]:
+        """Number of non-singleton sets per protocol plus the union."""
+        collections = self.ipv4 if family is AddressFamily.IPV4 else self.ipv6
+        union = self.ipv4_union if family is AddressFamily.IPV4 else self.ipv6_union
+        counts = {protocol.value: len(collections[protocol].non_singleton()) for protocol in PROTOCOLS}
+        counts["union"] = len(union.non_singleton())
+        return counts
+
+    def covered_addresses(self, family: AddressFamily) -> dict[str, int]:
+        """Number of addresses covered by non-singleton sets per protocol plus union."""
+        collections = self.ipv4 if family is AddressFamily.IPV4 else self.ipv6
+        union = self.ipv4_union if family is AddressFamily.IPV4 else self.ipv6_union
+        counts = {
+            protocol.value: len(collections[protocol].non_singleton().addresses())
+            for protocol in PROTOCOLS
+        }
+        counts["union"] = len(union.non_singleton().addresses())
+        return counts
+
+
+class ResolutionEngine:
+    """Builds :class:`AliasReport` objects from one index pass.
+
+    ``resolve`` is the one-call entry point; ``index``/``report`` expose the
+    two stages separately for callers that want to reuse or inspect the
+    intermediate :class:`ObservationIndex` (e.g. incremental workloads that
+    stream observations in batches via :meth:`ObservationIndex.extend`).
+    """
+
+    def __init__(self, options: IdentifierOptions = DEFAULT_OPTIONS) -> None:
+        self._options = options
+
+    @property
+    def options(self) -> IdentifierOptions:
+        """The identifier construction options in use."""
+        return self._options
+
+    def index(self, observations: Iterable[Observation]) -> ObservationIndex:
+        """Stage 1: build the observation index in a single pass."""
+        return ObservationIndex.build(observations, self._options)
+
+    def report(self, index: ObservationIndex, name: str = "dataset") -> AliasReport:
+        """Stage 2: derive every report collection from an existing index."""
+        ipv4 = {
+            protocol: index.alias_sets(
+                protocol, AddressFamily.IPV4, name=f"{name}:{protocol.value}:ipv4"
+            )
+            for protocol in PROTOCOLS
+        }
+        ipv6 = {
+            protocol: index.alias_sets(
+                protocol, AddressFamily.IPV6, name=f"{name}:{protocol.value}:ipv6"
+            )
+            for protocol in PROTOCOLS
+        }
+        dual = {
+            protocol: index.dual_stack(protocol, name=f"{name}:{protocol.value}:dual")
+            for protocol in PROTOCOLS
+        }
+        ipv4_union = AliasResolver.union(ipv4.values(), name=f"{name}:union:ipv4")
+        ipv6_union = AliasResolver.union(ipv6.values(), name=f"{name}:union:ipv6")
+        dual_union = union_dual_stack(dual.values(), name=f"{name}:union:dual")
+        return AliasReport(
+            name=name,
+            ipv4=ipv4,
+            ipv6=ipv6,
+            ipv4_union=ipv4_union,
+            ipv6_union=ipv6_union,
+            dual_stack=dual,
+            dual_stack_union=dual_union,
+        )
+
+    def resolve(
+        self, observations: Iterable[Observation], name: str = "dataset"
+    ) -> AliasReport:
+        """Index ``observations`` and build the full report."""
+        return self.report(self.index(observations), name=name)

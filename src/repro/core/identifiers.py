@@ -18,8 +18,10 @@ those values can be grouped into alias sets.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
+from typing import Callable, Iterator
 
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
@@ -122,6 +124,39 @@ _EXTRACTORS = {
     ServiceType.SNMPV3: snmp_identifier,
 }
 
+#: Observers notified on every :func:`extract_identifier` call.  Used by the
+#: benchmark harness to prove the single-pass engine extracts each
+#: observation's identifier exactly once.
+_extraction_hooks: list[Callable[[Observation], None]] = []
+
+
+class ExtractionCounter:
+    """Counts :func:`extract_identifier` calls while installed as a hook."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, observation: Observation) -> None:
+        self.count += 1
+
+
+@contextlib.contextmanager
+def count_extractions() -> Iterator[ExtractionCounter]:
+    """Count identifier extractions performed inside the ``with`` block.
+
+    Process-global and intended for single-threaded test/benchmark use:
+    concurrent or nested contexts each observe every extraction in the
+    process, not just their own.
+    """
+    counter = ExtractionCounter()
+    _extraction_hooks.append(counter)
+    try:
+        yield counter
+    finally:
+        _extraction_hooks.remove(counter)
+
 
 def extract_identifier(
     observation: Observation, options: IdentifierOptions = DEFAULT_OPTIONS
@@ -132,4 +167,7 @@ def extract_identifier(
     (e.g. a BGP speaker that closed without an OPEN, or an SSH server that
     only sent a banner).
     """
+    if _extraction_hooks:
+        for hook in _extraction_hooks:
+            hook(observation)
     return _EXTRACTORS[observation.protocol](observation, options)

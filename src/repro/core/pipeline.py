@@ -4,64 +4,24 @@
 the union of several) and produces everything the paper's evaluation
 reports: per-protocol IPv4 and IPv6 alias-set collections, their unions,
 per-protocol dual-stack collections, and their union.
+
+Since the single-pass refactor this module is a facade over
+:mod:`repro.core.engine`: one :class:`~repro.core.engine.ObservationIndex`
+pass extracts each identifier exactly once, and every report collection is
+derived from the index rather than from repeated walks over the raw
+observations.  :class:`AliasReport` and :data:`PROTOCOLS` are re-exported
+here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Iterable
 
-from repro.core.alias_resolution import AliasResolver
-from repro.core.aliasset import AliasSetCollection
-from repro.core.dual_stack import DualStackCollection, infer_dual_stack, union_dual_stack
+from repro.core.engine import PROTOCOLS, AliasReport, ResolutionEngine
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions
-from repro.net.addresses import AddressFamily
-from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
 
-PROTOCOLS = (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3)
-
-
-@dataclasses.dataclass
-class AliasReport:
-    """Full output of one alias-resolution run.
-
-    Attributes:
-        name: label of the observation set the report was built from.
-        ipv4: per-protocol IPv4 alias-set collections.
-        ipv6: per-protocol IPv6 alias-set collections.
-        ipv4_union: union of the per-protocol IPv4 collections.
-        ipv6_union: union of the per-protocol IPv6 collections.
-        dual_stack: per-protocol dual-stack collections.
-        dual_stack_union: union of the per-protocol dual-stack collections.
-    """
-
-    name: str
-    ipv4: dict[ServiceType, AliasSetCollection]
-    ipv6: dict[ServiceType, AliasSetCollection]
-    ipv4_union: AliasSetCollection
-    ipv6_union: AliasSetCollection
-    dual_stack: dict[ServiceType, DualStackCollection]
-    dual_stack_union: DualStackCollection
-
-    def non_singleton_counts(self, family: AddressFamily) -> dict[str, int]:
-        """Number of non-singleton sets per protocol plus the union."""
-        collections = self.ipv4 if family is AddressFamily.IPV4 else self.ipv6
-        union = self.ipv4_union if family is AddressFamily.IPV4 else self.ipv6_union
-        counts = {protocol.value: len(collections[protocol].non_singleton()) for protocol in PROTOCOLS}
-        counts["union"] = len(union.non_singleton())
-        return counts
-
-    def covered_addresses(self, family: AddressFamily) -> dict[str, int]:
-        """Number of addresses covered by non-singleton sets per protocol plus union."""
-        collections = self.ipv4 if family is AddressFamily.IPV4 else self.ipv6
-        union = self.ipv4_union if family is AddressFamily.IPV4 else self.ipv6_union
-        counts = {
-            protocol.value: len(collections[protocol].non_singleton().addresses())
-            for protocol in PROTOCOLS
-        }
-        counts["union"] = len(union.non_singleton().addresses())
-        return counts
+__all__ = ["PROTOCOLS", "AliasReport", "run_alias_resolution"]
 
 
 def run_alias_resolution(
@@ -69,31 +29,9 @@ def run_alias_resolution(
     name: str = "dataset",
     options: IdentifierOptions = DEFAULT_OPTIONS,
 ) -> AliasReport:
-    """Run the full alias-resolution and dual-stack pipeline."""
-    observation_list = list(observations)
-    resolver = AliasResolver(options)
-    ipv4: dict[ServiceType, AliasSetCollection] = {}
-    ipv6: dict[ServiceType, AliasSetCollection] = {}
-    dual: dict[ServiceType, DualStackCollection] = {}
-    for protocol in PROTOCOLS:
-        ipv4[protocol] = resolver.group(
-            observation_list, protocol=protocol, family=AddressFamily.IPV4, name=f"{name}:{protocol.value}:ipv4"
-        )
-        ipv6[protocol] = resolver.group(
-            observation_list, protocol=protocol, family=AddressFamily.IPV6, name=f"{name}:{protocol.value}:ipv6"
-        )
-        dual[protocol] = infer_dual_stack(
-            observation_list, protocol=protocol, options=options, name=f"{name}:{protocol.value}:dual"
-        )
-    ipv4_union = AliasResolver.union(ipv4.values(), name=f"{name}:union:ipv4")
-    ipv6_union = AliasResolver.union(ipv6.values(), name=f"{name}:union:ipv6")
-    dual_union = union_dual_stack(dual.values(), name=f"{name}:union:dual")
-    return AliasReport(
-        name=name,
-        ipv4=ipv4,
-        ipv6=ipv6,
-        ipv4_union=ipv4_union,
-        ipv6_union=ipv6_union,
-        dual_stack=dual,
-        dual_stack_union=dual_union,
-    )
+    """Run the full alias-resolution and dual-stack pipeline.
+
+    ``observations`` may be any iterable — including a one-shot generator —
+    and is consumed in a single streaming pass.
+    """
+    return ResolutionEngine(options).resolve(observations, name=name)

@@ -29,7 +29,7 @@ from repro.sources.active import ActiveMeasurement
 from repro.sources.censys import CensysSource
 from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
 from repro.sources.merge import filter_standard_ports, merge_datasets
-from repro.sources.records import ObservationDataset
+from repro.sources.records import ObservationDataset, iter_observations
 
 #: Simulated duration between the Censys snapshot and the active scan
 #: (the paper pairs an April 18 active scan with a March 28 snapshot).
@@ -157,22 +157,29 @@ class PaperScenario:
     # ------------------------------------------------------------------ #
     # Alias resolution reports
     # ------------------------------------------------------------------ #
-    def report(self, source: str) -> AliasReport:
-        """Alias-resolution report for ``source``: active, censys, or union.
+    def observations_for(self, source: str):
+        """The observation stream behind ``source``: active, censys, or union.
 
-        The IPv6 observations always come from the active measurement (the
-        Censys IPv6 snapshot is excluded, as in the paper).
+        Streamed, not list-concatenated: the single-pass engine consumes each
+        observation exactly once.  The IPv6 observations always come from the
+        active measurement (the Censys IPv6 snapshot is excluded, as in the
+        paper).  Shared by :meth:`report`, the parity tests and the pipeline
+        benchmark so all three resolve the same dataset composition.
         """
+        if source == "active":
+            return iter_observations(self.active_ipv4, self.active_ipv6)
+        if source == "censys":
+            return iter_observations(self.censys_ipv4_standard)
+        if source == "union":
+            return iter_observations(self.union_ipv4, self.active_ipv6)
+        raise ValueError(f"unknown source {source!r}")
+
+    def report(self, source: str) -> AliasReport:
+        """Alias-resolution report for ``source``: active, censys, or union."""
         if source not in self._reports:
-            if source == "active":
-                observations = list(self.active_ipv4) + list(self.active_ipv6)
-            elif source == "censys":
-                observations = list(self.censys_ipv4_standard)
-            elif source == "union":
-                observations = list(self.union_ipv4) + list(self.active_ipv6)
-            else:
-                raise ValueError(f"unknown source {source!r}")
-            self._reports[source] = run_alias_resolution(observations, name=source)
+            self._reports[source] = run_alias_resolution(
+                self.observations_for(source), name=source
+            )
         return self._reports[source]
 
     # ------------------------------------------------------------------ #

@@ -11,6 +11,8 @@ snapshot while not discarding coverage.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation, ObservationDataset
 
@@ -21,15 +23,16 @@ def filter_standard_ports(dataset: ObservationDataset) -> ObservationDataset:
 
 
 def merge_datasets(
-    *datasets: ObservationDataset,
+    *datasets: Iterable[Observation],
     name: str = "union",
     protocols: tuple[ServiceType, ...] | None = None,
 ) -> ObservationDataset:
     """Union several datasets into one.
 
-    Only default-port observations participate.  For duplicate
-    (address, protocol) pairs the observation with identifier material wins;
-    ties are broken by the later timestamp.
+    Each input may be an :class:`ObservationDataset` or any observation
+    iterable (streamed in one pass).  Only default-port observations
+    participate.  For duplicate (address, protocol) pairs the observation
+    with identifier material wins; ties are broken by the later timestamp.
     """
     best: dict[tuple[str, ServiceType], Observation] = {}
     for dataset in datasets:

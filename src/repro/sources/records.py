@@ -11,6 +11,7 @@ oblivious to where the data came from, exactly like the paper's analysis of
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Iterable, Iterator
 
 from repro.errors import DatasetError
@@ -74,6 +75,17 @@ class Observation:
 
 def _sorted_fields(fields: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted(fields.items()))
+
+
+def iter_observations(*datasets: Iterable[Observation]) -> Iterator[Observation]:
+    """Stream the observations of several datasets, in order, without copying.
+
+    A domain-named :func:`itertools.chain`: the single-pass resolution engine
+    consumes observations exactly once, so callers combining datasets (e.g.
+    active IPv4 + active IPv6) chain them lazily instead of concatenating
+    ``list(...)`` copies.
+    """
+    return itertools.chain(*datasets)
 
 
 def observation_from_record(

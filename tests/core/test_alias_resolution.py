@@ -1,6 +1,6 @@
 """Tests for observation grouping and cross-protocol union."""
 
-from repro.core.alias_resolution import AliasResolver
+from repro.core.alias_resolution import AliasResolver, UnionFind
 from repro.net.addresses import AddressFamily
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
@@ -122,3 +122,52 @@ class TestUnion:
     def test_union_of_empty_collections(self):
         union = AliasResolver.union([])
         assert len(union) == 0
+
+
+class TestUnionFind:
+    def test_find_registers_singletons(self):
+        union_find = UnionFind()
+        assert union_find.find("a") == "a"
+        assert "a" in union_find
+        assert len(union_find) == 1
+
+    def test_union_merges_components(self):
+        union_find = UnionFind()
+        union_find.union("a", "b")
+        union_find.union("b", "c")
+        assert union_find.find("a") == union_find.find("c")
+        assert union_find.find("a") != union_find.find("d")
+
+    def test_groups_partition_all_items(self):
+        union_find = UnionFind()
+        for item in "abcdef":
+            union_find.add(item)
+        union_find.union("a", "b")
+        union_find.union("c", "d")
+        groups = union_find.groups()
+        assert {frozenset(g) for g in groups} == {
+            frozenset("ab"),
+            frozenset("cd"),
+            frozenset("e"),
+            frozenset("f"),
+        }
+
+    def test_long_chain_does_not_recurse(self):
+        # The seed implementation used recursive path compression, which hit
+        # RecursionError on parent chains longer than the interpreter limit.
+        # Union-by-rank keeps chains built through the public API shallow, so
+        # stress the iterative find on a hand-built worst-case chain.
+        union_find = UnionFind()
+        length = 5000
+        union_find._parent.update({item: item + 1 for item in range(length)})
+        union_find._parent[length] = length
+        assert union_find.find(0) == length
+        # The chain is fully compressed afterwards.
+        assert all(union_find._parent[item] == length for item in range(length))
+
+    def test_rank_keeps_api_built_chains_shallow(self):
+        union_find = UnionFind()
+        length = 5000
+        for item in reversed(range(length)):
+            union_find.union(item, item + 1)
+        assert len({union_find.find(item) for item in range(length + 1)}) == 1

@@ -1,0 +1,196 @@
+"""Property-style tests of cross-protocol union semantics.
+
+The union step is the one place alias sets from different groupings
+interact, so its algebra matters: it must be idempotent, independent of the
+order collections (and sets within them) are presented in, and it must
+bridge exactly the sets connected through shared addresses — no more, no
+less.  The canonical ``union:<n>`` labelling makes these properties exact
+equalities on the output, not just partition-level equivalences.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alias_resolution import AliasResolver
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.core.dual_stack import DualStackCollection, DualStackSet, union_dual_stack
+from repro.simnet.device import ServiceType
+
+# Small address universe so overlaps (bridges) actually happen.
+_address = st.integers(min_value=1, max_value=25).map(lambda i: f"10.0.0.{i}")
+_addresses = st.frozensets(_address, min_size=1, max_size=5)
+_protocol = st.sampled_from(list(ServiceType))
+
+
+def _collection(name, sets):
+    collection = AliasSetCollection(name)
+    for index, (addresses, protocol) in enumerate(sets):
+        collection.add(
+            AliasSet(
+                identifier=f"{name}:{index}",
+                addresses=addresses,
+                protocols=frozenset((protocol,)),
+            )
+        )
+    return collection
+
+
+_collection_sets = st.lists(st.tuples(_addresses, _protocol), max_size=8)
+_collections = st.lists(_collection_sets, min_size=1, max_size=4).map(
+    lambda groups: [_collection(f"c{i}", sets) for i, sets in enumerate(groups)]
+)
+
+
+def _expected_partition(collections):
+    """Brute-force reference: merge overlapping sets to a fixpoint.
+
+    Deliberately avoids the union-find used by the implementation — a
+    quadratic repeated-merge converges to the same transitive closure and
+    serves as an independent oracle.
+    """
+    components = [
+        (set(alias_set.addresses), set(alias_set.protocols))
+        for collection in collections
+        for alias_set in collection
+        if alias_set.addresses
+    ]
+    changed = True
+    while changed:
+        changed = False
+        merged: list[tuple[set, set]] = []
+        for addresses, protocols in components:
+            for existing_addresses, existing_protocols in merged:
+                if existing_addresses & addresses:
+                    existing_addresses |= addresses
+                    existing_protocols |= protocols
+                    changed = True
+                    break
+            else:
+                merged.append((addresses, protocols))
+        components = merged
+    return {
+        (frozenset(addresses), frozenset(protocols))
+        for addresses, protocols in components
+    }
+
+
+@settings(max_examples=80, deadline=None)
+@given(collections=_collections)
+def test_union_is_idempotent(collections):
+    once = AliasResolver.union(collections, name="u")
+    twice = AliasResolver.union([once], name="u")
+    assert list(twice) == list(once)
+    assert twice.address_asn == once.address_asn
+
+
+@settings(max_examples=80, deadline=None)
+@given(collections=_collections, seed=st.integers(min_value=0, max_value=2**16))
+def test_union_is_order_independent(collections, seed):
+    baseline = AliasResolver.union(collections, name="u")
+    rng = random.Random(seed)
+    shuffled_collections = []
+    for collection in collections:
+        sets = collection.sets
+        rng.shuffle(sets)
+        shuffled_collections.append(
+            AliasSetCollection(collection.name, sets, collection.address_asn)
+        )
+    rng.shuffle(shuffled_collections)
+    reordered = AliasResolver.union(shuffled_collections, name="u")
+    assert list(reordered) == list(baseline)
+
+
+@settings(max_examples=80, deadline=None)
+@given(collections=_collections)
+def test_union_bridges_exactly_the_transitive_closure(collections):
+    union = AliasResolver.union(collections, name="u")
+    assert {
+        (alias_set.addresses, alias_set.protocols) for alias_set in union
+    } == _expected_partition(collections)
+
+
+def test_union_bridges_chained_sets_across_collections():
+    # {a,b} and {c,d} only touch through {b,c}: all four must merge.
+    first = _collection("first", [(frozenset({"10.0.0.1", "10.0.0.2"}), ServiceType.SSH)])
+    second = _collection("second", [(frozenset({"10.0.0.2", "10.0.0.3"}), ServiceType.BGP)])
+    third = _collection("third", [(frozenset({"10.0.0.3", "10.0.0.4"}), ServiceType.SNMPV3)])
+    union = AliasResolver.union([first, second, third])
+    assert len(union) == 1
+    merged = union.sets[0]
+    assert merged.addresses == frozenset({f"10.0.0.{i}" for i in (1, 2, 3, 4)})
+    assert merged.protocols == frozenset(ServiceType)
+
+
+# --------------------------------------------------------------------- #
+# Dual-stack union shares the same algebra
+# --------------------------------------------------------------------- #
+
+_ipv6 = st.integers(min_value=1, max_value=25).map(lambda i: f"2001:db8::{i:x}")
+_dual_sets = st.lists(
+    st.tuples(
+        st.frozensets(_address, min_size=1, max_size=3),
+        st.frozensets(_ipv6, min_size=1, max_size=3),
+        _protocol,
+    ),
+    max_size=6,
+)
+
+
+def _dual_collection(name, sets):
+    collection = DualStackCollection(name)
+    for index, (ipv4_addresses, ipv6_addresses, protocol) in enumerate(sets):
+        collection.add(
+            DualStackSet(
+                identifier=f"{name}:{index}",
+                ipv4_addresses=ipv4_addresses,
+                ipv6_addresses=ipv6_addresses,
+                protocols=frozenset((protocol,)),
+            )
+        )
+    return collection
+
+
+_dual_collections = st.lists(_dual_sets, min_size=1, max_size=3).map(
+    lambda groups: [_dual_collection(f"d{i}", sets) for i, sets in enumerate(groups)]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(collections=_dual_collections)
+def test_dual_union_is_idempotent(collections):
+    once = union_dual_stack(collections, name="u")
+    twice = union_dual_stack([once], name="u")
+    assert list(twice) == list(once)
+
+
+@settings(max_examples=60, deadline=None)
+@given(collections=_dual_collections)
+def test_dual_union_is_order_independent(collections):
+    baseline = union_dual_stack(collections, name="u")
+    reordered = union_dual_stack(list(reversed(collections)), name="u")
+    assert list(reordered) == list(baseline)
+
+
+def test_dual_union_skips_empty_sets():
+    # An empty DualStackSet is constructible through the public dataclass;
+    # the union must skip it rather than crash computing min() of no addresses.
+    empty = DualStackSet(
+        identifier="empty",
+        ipv4_addresses=frozenset(),
+        ipv6_addresses=frozenset(),
+        protocols=frozenset((ServiceType.SSH,)),
+    )
+    collection = DualStackCollection("d", [empty])
+    assert len(union_dual_stack([collection], name="u")) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(collections=_dual_collections)
+def test_dual_union_never_loses_addresses(collections):
+    union = union_dual_stack(collections, name="u")
+    expected_ipv4 = set().union(*(c.ipv4_addresses() for c in collections))
+    expected_ipv6 = set().union(*(c.ipv6_addresses() for c in collections))
+    assert union.ipv4_addresses() == expected_ipv4
+    assert union.ipv6_addresses() == expected_ipv6
