@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Longitudinal campaign: watch alias sets churn across weekly snapshots.
+
+The paper's MIDAR validation ran for three weeks and disagreed with the
+SSH-derived alias sets for a few percent of the sampled sets — a
+disagreement it attributes to addresses moving between devices during the
+window.  This example makes that mechanism visible end to end:
+
+1. generate a small simulated Internet,
+2. run four weekly active-scan snapshots, reassigning 5% of all addresses
+   to random devices between consecutive snapshots,
+3. re-resolve each snapshot *incrementally* (replaying the observation
+   delta instead of rebuilding the index), and
+4. print the per-snapshot stability table plus one concrete migrated set.
+
+Run with::
+
+    python examples/longitudinal_churn.py
+"""
+
+import time
+
+from repro.analysis.stability import stability_table
+from repro.core.engine import ResolutionEngine, report_signature
+from repro.longitudinal import LongitudinalCampaign, LongitudinalConfig
+from repro.net.addresses import AddressFamily
+from repro.simnet.topology import generate_topology, small_topology_config
+
+
+def main() -> None:
+    network = generate_topology(small_topology_config(seed=2024))
+    print(f"Simulated Internet: {len(network.devices())} devices, "
+          f"{len(network.all_addresses())} addresses")
+
+    campaign = LongitudinalCampaign(
+        network,
+        config=LongitudinalConfig(snapshots=4, churn_fraction=0.05, seed=7),
+    )
+    captures = campaign.collect()
+    result = campaign.resolve(captures)
+    print()
+    print(stability_table(result, AddressFamily.IPV4))
+
+    # The incremental report is identical to a from-scratch resolution.
+    last = result.snapshots[-1]
+    t0 = time.perf_counter()
+    from_scratch = ResolutionEngine().resolve(
+        last.capture.observations, name=last.capture.name
+    )
+    full_time = time.perf_counter() - t0
+    assert report_signature(last.report) == report_signature(from_scratch)
+    print(f"\nincremental report matches a from-scratch rebuild "
+          f"(full rebuild takes {1000 * full_time:.0f} ms per snapshot at this scale)")
+
+    # Show one churn-driven migration: a set that both lost and gained
+    # addresses because an address moved to different hardware.
+    for snapshot in result.snapshots[1:]:
+        delta = snapshot.alias_delta(AddressFamily.IPV4)
+        if delta.migrated:
+            churned = snapshot.capture.churned
+            migrated = delta.migrated[0]
+            print(f"\nsnapshot {snapshot.capture.index}: migrated set "
+                  f"{sorted(migrated)[:6]}{'…' if len(migrated) > 6 else ''}")
+            overlap = sorted(migrated & churned)
+            if overlap:
+                print(f"  churned members this interval: {overlap}")
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -8,11 +8,14 @@ These are the building blocks of the paper's evaluation section:
 * :mod:`repro.analysis.tables` — plain-text table rendering and the paper's
   "k / M" number formatting.
 * :mod:`repro.analysis.report` — an end-to-end markdown report generator.
+* :mod:`repro.analysis.stability` — longitudinal per-snapshot stability
+  tables (set persistence and churn-attributed splits).
 """
 
 from repro.analysis.aslevel import multi_as_fraction, role_split, top_as_table
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.setstats import set_size_summary
+from repro.analysis.stability import stability_markdown, stability_rows, stability_table
 from repro.analysis.tables import format_count, render_table
 
 __all__ = [
@@ -23,4 +26,7 @@ __all__ = [
     "set_size_summary",
     "format_count",
     "render_table",
+    "stability_markdown",
+    "stability_rows",
+    "stability_table",
 ]

@@ -1,0 +1,109 @@
+"""Rendering of longitudinal stability metrics.
+
+Turns a :class:`~repro.longitudinal.campaign.CampaignResult` into the
+per-snapshot stability table the ``repro longitudinal`` CLI subcommand and
+the example script print: how many non-singleton union sets each snapshot
+found, how its sets evolved (born / dissolved / grown / shrunk /
+migrated), what fraction of the previous snapshot's sets persisted
+untouched, and how many of the splits are attributable to injected
+address churn — the paper's MIDAR-vs-SSH disagreement mechanism as a
+measured quantity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.longitudinal.campaign import CampaignResult
+from repro.net.addresses import AddressFamily
+
+_HEADERS = [
+    "Snapshot",
+    "Day",
+    "Obs",
+    "+Obs",
+    "-Obs",
+    "Sets",
+    "Born",
+    "Dissolved",
+    "Grown",
+    "Shrunk",
+    "Migrated",
+    "Persistence",
+    "Splits",
+    "Churn splits",
+]
+
+
+def stability_rows(
+    result: CampaignResult, family: AddressFamily = AddressFamily.IPV4
+) -> list[list[object]]:
+    """The stability table rows for one family (first snapshot has no delta)."""
+    rows: list[list[object]] = []
+    for stability in result.stability(family):
+        if stability.snapshot == 0:
+            rows.append(
+                [
+                    stability.snapshot,
+                    f"{stability.time / 86400:.0f}",
+                    stability.observations,
+                    "-",
+                    "-",
+                    stability.sets,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                ]
+            )
+            continue
+        rows.append(
+            [
+                stability.snapshot,
+                f"{stability.time / 86400:.0f}",
+                stability.observations,
+                f"+{stability.added}",
+                f"-{stability.removed}",
+                stability.sets,
+                stability.born,
+                stability.dissolved,
+                stability.grown,
+                stability.shrunk,
+                stability.migrated,
+                f"{100 * stability.persistence:.1f}%",
+                stability.splits,
+                stability.churn_attributed_splits,
+            ]
+        )
+    return rows
+
+
+def stability_table(
+    result: CampaignResult, family: AddressFamily = AddressFamily.IPV4
+) -> str:
+    """Render the per-snapshot stability table as aligned plain text."""
+    family_tag = "IPv4" if family is AddressFamily.IPV4 else "IPv6"
+    title = (
+        f"Longitudinal stability ({family_tag} union, "
+        f"{result.config.snapshots} snapshots, "
+        f"{100 * result.config.churn_fraction:.1f}% churn/interval)"
+    )
+    return render_table(_HEADERS, stability_rows(result, family), title=title)
+
+
+def stability_markdown(result: CampaignResult) -> str:
+    """Render both families' stability tables as a markdown document."""
+    lines = ["# Longitudinal stability report", ""]
+    for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+        family_tag = "IPv4" if family is AddressFamily.IPV4 else "IPv6"
+        lines.append(f"## {family_tag} union sets")
+        lines.append("")
+        lines.append("| " + " | ".join(_HEADERS) + " |")
+        lines.append("|" + "---|" * len(_HEADERS))
+        for row in stability_rows(result, family):
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        lines.append("")
+    return "\n".join(lines)

@@ -10,8 +10,15 @@ The CLI mirrors how the paper's artifacts would be used in practice:
 * ``repro experiments`` — regenerate the paper's tables and figures (or a
   selected subset) and print them.
 * ``repro claims`` — evaluate the headline claims (the EXPERIMENTS.md table).
+* ``repro longitudinal`` — run a multi-snapshot campaign over a churning
+  simulated Internet, resolve it incrementally, and print per-snapshot
+  stability tables.
 
-Run ``python -m repro --help`` for details.
+Every data-generating subcommand takes ``--scale`` (default 1.0), the
+multiplier on the simulated Internet's device counts: 1.0 yields a few
+tens of thousands of addresses — every distributional result at laptop
+scale — while smaller values trade fidelity for speed (e.g. 0.1 for smoke
+tests).  Run ``python -m repro --help`` for details.
 """
 
 from __future__ import annotations
@@ -21,10 +28,12 @@ import sys
 from pathlib import Path
 
 from repro.analysis.report import alias_report_markdown
+from repro.analysis.stability import stability_markdown, stability_table
 from repro.core.pipeline import run_alias_resolution
 from repro.experiments import runner
 from repro.experiments.scenario import PaperScenario, ScenarioConfig
 from repro.io.datasets import load_observations, save_alias_sets, save_observations
+from repro.net.addresses import AddressFamily
 from repro.sources.records import ObservationDataset, iter_observations
 
 
@@ -37,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     scan = subparsers.add_parser("scan", help="simulate the Internet and run the measurement campaigns")
-    scan.add_argument("--scale", type=float, default=0.5, help="topology scale factor (default 0.5)")
+    scan.add_argument("--scale", type=float, default=1.0, help="topology scale factor (default 1.0)")
     scan.add_argument("--seed", type=int, default=42, help="scenario seed (default 42)")
     scan.add_argument("--output", type=Path, required=True, help="directory for the observation datasets")
     scan.add_argument(
@@ -66,6 +75,34 @@ def build_parser() -> argparse.ArgumentParser:
     claims = subparsers.add_parser("claims", help="evaluate the paper's headline claims")
     claims.add_argument("--scale", type=float, default=1.0)
     claims.add_argument("--seed", type=int, default=42)
+
+    longitudinal = subparsers.add_parser(
+        "longitudinal",
+        help="multi-snapshot campaign over a churning network, resolved incrementally",
+    )
+    longitudinal.add_argument("--scale", type=float, default=1.0)
+    longitudinal.add_argument("--seed", type=int, default=42)
+    longitudinal.add_argument(
+        "--snapshots", type=int, default=4, help="number of measurement snapshots (default 4)"
+    )
+    longitudinal.add_argument(
+        "--churn",
+        type=float,
+        default=0.02,
+        help="fraction of addresses reassigned between snapshots (default 0.02)",
+    )
+    longitudinal.add_argument(
+        "--interval-days",
+        type=float,
+        default=7.0,
+        help="simulated days between snapshots (default 7)",
+    )
+    longitudinal.add_argument(
+        "--ipv4-only", action="store_true", help="skip the IPv6 hitlist scans"
+    )
+    longitudinal.add_argument(
+        "--output", type=Path, default=None, help="optional directory for stability.md"
+    )
     return parser
 
 
@@ -138,11 +175,47 @@ def _command_claims(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _command_longitudinal(args: argparse.Namespace) -> int:
+    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
+    campaign = scenario.longitudinal_campaign(
+        snapshots=args.snapshots,
+        churn_fraction=args.churn,
+        interval=args.interval_days * 86400.0,
+        include_ipv6=not args.ipv4_only,
+    )
+    result = campaign.run()
+    print(stability_table(result, AddressFamily.IPV4))
+    if not args.ipv4_only:
+        print()
+        print(stability_table(result, AddressFamily.IPV6))
+    final = result.final_report
+    total_added = sum(
+        len(s.capture.delta.added) for s in result.snapshots if s.capture.delta
+    )
+    total_removed = sum(
+        len(s.capture.delta.removed) for s in result.snapshots if s.capture.delta
+    )
+    print()
+    print(
+        f"incrementally re-resolved {args.snapshots - 1} deltas "
+        f"(+{total_added}/-{total_removed} observations) on top of "
+        f"{len(result.snapshots[0].capture.observations)} bootstrap observations"
+    )
+    print(f"final IPv4 non-singleton union sets: {len(final.ipv4_union.non_singleton())}")
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+        path = args.output / "stability.md"
+        path.write_text(stability_markdown(result))
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "scan": _command_scan,
     "resolve": _command_resolve,
     "experiments": _command_experiments,
     "claims": _command_claims,
+    "longitudinal": _command_longitudinal,
 }
 
 

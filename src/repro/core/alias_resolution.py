@@ -91,8 +91,9 @@ def merge_overlapping(items: Iterable, addresses_of) -> list[list]:
     over item indices, driven by an address→first-owner mapping so two items
     merge the moment a second one claims an already-owned address.  Items
     with no addresses are skipped.  Components are returned ordered by their
-    smallest member address, which makes the derived ``union:<n>`` labels
-    canonical (independent of input order).
+    smallest member address, which makes the derived
+    ``union:<smallest-address>`` labels canonical (independent of input
+    order).
     """
     contributing: list = []
     address_sets: list = []
@@ -122,6 +123,31 @@ def merge_overlapping(items: Iterable, addresses_of) -> list[list]:
         components[root]
         for root in sorted(components, key=smallest_address.__getitem__)
     ]
+
+
+def combine_alias_sets(component: list[AliasSet]) -> AliasSet:
+    """Fold one union component into its output set.
+
+    The single definition of the union's output shape — the canonical,
+    churn-stable ``union:<smallest-address>`` label and the
+    singleton-component frozenset reuse — shared by the batch
+    :meth:`AliasResolver.union` and the incremental union maintenance in
+    :mod:`repro.longitudinal.engine`, whose outputs must stay exactly
+    interchangeable.
+    """
+    if len(component) == 1:
+        # Most components are one set; reuse its frozensets rather than
+        # copying them into identical new ones.
+        addresses = component[0].addresses
+        protocols = component[0].protocols
+    else:
+        addresses = frozenset().union(*(s.addresses for s in component))
+        protocols = frozenset().union(*(s.protocols for s in component))
+    return AliasSet(
+        identifier=f"union:{min(addresses)}",
+        addresses=addresses,
+        protocols=protocols,
+    )
 
 
 class AliasResolver:
@@ -194,23 +220,21 @@ class AliasResolver:
 
         Components are built by :func:`merge_overlapping` directly from an
         address→set mapping — no per-set sorting, one union-find item per
-        set rather than per address — and the synthetic ``union:<n>`` labels
-        are canonical (components ordered by smallest member address), so
-        the output is independent of collection iteration order.
+        set rather than per address — and the synthetic
+        ``union:<smallest-address>`` labels are canonical and *stable*: a
+        component keeps its label across snapshots unless its smallest
+        member changes, which is what lets incremental re-resolution reuse
+        unchanged union components.  Sets are ordered by the same smallest
+        member address, so the output is independent of collection
+        iteration order.
         """
         contributing: list[AliasSet] = []
         address_asn: dict[str, int] = {}
         for collection in collections:
-            address_asn.update(collection.address_asn)
+            address_asn.update(collection.address_asn_items())
             contributing.extend(collection)
         result = AliasSetCollection(name, address_asn=address_asn)
         components = merge_overlapping(contributing, lambda alias_set: alias_set.addresses)
-        for position, component in enumerate(components):
-            result.add(
-                AliasSet(
-                    identifier=f"union:{position}",
-                    addresses=frozenset().union(*(s.addresses for s in component)),
-                    protocols=frozenset().union(*(s.protocols for s in component)),
-                )
-            )
+        for component in components:
+            result.add(combine_alias_sets(component))
         return result

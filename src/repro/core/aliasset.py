@@ -24,7 +24,8 @@ class AliasSet:
 
     Attributes:
         identifier: the identifier value that grouped these addresses (for
-            union sets this is a synthetic ``union:<n>`` label).
+            union sets this is a synthetic ``union:<smallest-address>``
+            label).
         addresses: the grouped addresses.
         protocols: protocols whose identifiers contributed to this set.
     """
@@ -92,6 +93,15 @@ class AliasSetCollection:
     def address_asn(self) -> dict[str, int]:
         """Mapping from address to originating ASN."""
         return dict(self._address_asn)
+
+    def address_asn_items(self):
+        """The address→ASN pairs without copying (treat as read-only).
+
+        The ``address_asn`` property defensively copies; union construction
+        folds several collections' mappings together and would pay for each
+        copy twice, so it consumes this view instead.
+        """
+        return self._address_asn.items()
 
     def add(self, alias_set: AliasSet) -> None:
         """Append one set."""

@@ -65,6 +65,10 @@ class DualStackCollection:
         """Mapping from address to originating ASN."""
         return dict(self._address_asn)
 
+    def address_asn_items(self):
+        """The address→ASN pairs without copying (treat as read-only)."""
+        return self._address_asn.items()
+
     def add(self, dual_set: DualStackSet) -> None:
         """Append one set."""
         self._sets.append(dual_set)
@@ -160,6 +164,33 @@ def infer_dual_stack(
     return collection
 
 
+def combine_dual_sets(component: list[DualStackSet]) -> DualStackSet:
+    """Fold one dual-stack union component into its output set.
+
+    The single definition of the dual union's output shape (canonical
+    ``union:<smallest-address>`` label, singleton frozenset reuse), shared
+    by :func:`union_dual_stack` and the incremental union maintenance in
+    :mod:`repro.longitudinal.engine`.
+    """
+    if len(component) == 1:
+        # Most components are one set; reuse its frozensets rather than
+        # copying them into identical new ones.
+        ipv4_addresses = component[0].ipv4_addresses
+        ipv6_addresses = component[0].ipv6_addresses
+        protocols = component[0].protocols
+    else:
+        ipv4_addresses = frozenset().union(*(d.ipv4_addresses for d in component))
+        ipv6_addresses = frozenset().union(*(d.ipv6_addresses for d in component))
+        protocols = frozenset().union(*(d.protocols for d in component))
+    smallest = min(min(ipv4_addresses), min(ipv6_addresses))
+    return DualStackSet(
+        identifier=f"union:{smallest}",
+        ipv4_addresses=ipv4_addresses,
+        ipv6_addresses=ipv6_addresses,
+        protocols=protocols,
+    )
+
+
 def union_dual_stack(
     collections: Iterable[DualStackCollection], name: str = "union"
 ) -> DualStackCollection:
@@ -167,25 +198,18 @@ def union_dual_stack(
 
     Shares :func:`~repro.core.alias_resolution.merge_overlapping` with
     :meth:`AliasResolver.union`, so both unions have identical merge algebra
-    and canonical ``union:<n>`` labels ordered by each component's smallest
-    address.
+    and canonical, churn-stable ``union:<smallest-address>`` labels ordered
+    by each component's smallest address.
     """
     contributing: list[DualStackSet] = []
     address_asn: dict[str, int] = {}
     for collection in collections:
-        address_asn.update(collection.address_asn)
+        address_asn.update(collection.address_asn_items())
         contributing.extend(collection)
     result = DualStackCollection(name, address_asn=address_asn)
     components = merge_overlapping(
         contributing, lambda dual_set: dual_set.ipv4_addresses | dual_set.ipv6_addresses
     )
-    for position, component in enumerate(components):
-        result.add(
-            DualStackSet(
-                identifier=f"union:{position}",
-                ipv4_addresses=frozenset().union(*(d.ipv4_addresses for d in component)),
-                ipv6_addresses=frozenset().union(*(d.ipv6_addresses for d in component)),
-                protocols=frozenset().union(*(d.protocols for d in component)),
-            )
-        )
+    for component in components:
+        result.add(combine_dual_sets(component))
     return result

@@ -30,7 +30,13 @@ from typing import Iterable
 from repro.core.alias_resolution import AliasResolver
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.core.dual_stack import DualStackCollection, DualStackSet, union_dual_stack
-from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
+from repro.core.identifiers import (
+    DEFAULT_OPTIONS,
+    DeviceIdentifier,
+    IdentifierOptions,
+    extract_identifier,
+)
+from repro.errors import DatasetError
 from repro.net.addresses import AddressFamily
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
@@ -40,6 +46,9 @@ PROTOCOLS = (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3)
 
 #: Bucket key: one (protocol, family) stratum of the index.
 _BucketKey = tuple[ServiceType, AddressFamily]
+
+#: Sentinel for "extract the identifier yourself" in add/remove.
+_UNEXTRACTED: "DeviceIdentifier | None" = object()  # type: ignore[assignment]
 
 
 class ObservationIndex:
@@ -53,12 +62,28 @@ class ObservationIndex:
     (every extractor stamps its own :class:`ServiceType`), so bucketing by
     the observation's protocol is equivalent to keying on the full
     ``(protocol, value)`` identifier pair.
+
+    Addresses are reference-counted per identifier so the index supports
+    removal: :meth:`remove` is the exact inverse of :meth:`add`, which is
+    what lets the longitudinal subsystem re-resolve a churned snapshot by
+    replaying an observation delta instead of rebuilding the whole index.
+    Every mutation records the touched identifier in a dirty map that
+    incremental consumers drain via :meth:`consume_dirty`.
+
+    Removal assumes an address's origin ASN is stable across the
+    observations that mention it (true for every source in this repo: the
+    ASN is resolved from routing data keyed by address).  The index only
+    counts how many identifier-carrying observations supplied an ASN per
+    address, so conflicting ASN values for one address cannot be unwound
+    exactly.
     """
 
     def __init__(self, options: IdentifierOptions = DEFAULT_OPTIONS) -> None:
         self._options = options
-        self._members: dict[_BucketKey, dict[str, set[str]]] = {}
+        self._members: dict[_BucketKey, dict[str, dict[str, int]]] = {}
         self._asn: dict[_BucketKey, dict[str, int]] = {}
+        self._asn_refs: dict[_BucketKey, dict[str, int]] = {}
+        self._dirty: dict[_BucketKey, set[str]] = {}
         self._observed = 0
         self._indexed = 0
 
@@ -88,10 +113,21 @@ class ObservationIndex:
         """Observations that contributed an identifier to the index."""
         return self._indexed
 
-    def add(self, observation: Observation) -> bool:
-        """Index one observation; returns whether it carried an identifier."""
+    def add(
+        self,
+        observation: Observation,
+        identifier: DeviceIdentifier | None = _UNEXTRACTED,
+    ) -> bool:
+        """Index one observation; returns whether it carried an identifier.
+
+        ``identifier`` lets callers that already extracted the observation's
+        identifier (with the same options) pass it in instead of paying for
+        a second extraction — the longitudinal engine caches identifiers
+        across snapshots this way.
+        """
         self._observed += 1
-        identifier = extract_identifier(observation, self._options)
+        if identifier is _UNEXTRACTED:
+            identifier = extract_identifier(observation, self._options)
         if identifier is None:
             return False
         bucket_key = (observation.protocol, observation.family)
@@ -99,19 +135,144 @@ class ObservationIndex:
         if members is None:
             members = self._members[bucket_key] = {}
             self._asn[bucket_key] = {}
+            self._asn_refs[bucket_key] = {}
+            self._dirty[bucket_key] = set()
         addresses = members.get(identifier.value)
         if addresses is None:
-            addresses = members[identifier.value] = set()
-        addresses.add(observation.address)
+            addresses = members[identifier.value] = {}
+        addresses[observation.address] = addresses.get(observation.address, 0) + 1
         if observation.asn is not None:
+            asn_refs = self._asn_refs[bucket_key]
             self._asn[bucket_key][observation.address] = observation.asn
+            asn_refs[observation.address] = asn_refs.get(observation.address, 0) + 1
+        self._dirty[bucket_key].add(identifier.value)
         self._indexed += 1
+        return True
+
+    def remove(
+        self,
+        observation: Observation,
+        identifier: DeviceIdentifier | None = _UNEXTRACTED,
+    ) -> bool:
+        """Un-index one previously-added observation (exact inverse of :meth:`add`).
+
+        Returns whether the observation carried an identifier (mirroring
+        :meth:`add`'s return value for the same observation).  Raises
+        :class:`~repro.errors.DatasetError` when the observation was never
+        indexed — incremental drivers replay deltas, so an unknown removal
+        is a bookkeeping bug worth failing loudly on.  ``identifier`` works
+        as in :meth:`add`.
+        """
+        if identifier is _UNEXTRACTED:
+            identifier = extract_identifier(observation, self._options)
+        if identifier is None:
+            # Identifier-less observations are only counted in aggregate, so
+            # the strongest possible check is that one is outstanding at all.
+            if self._observed <= self._indexed:
+                raise DatasetError(
+                    "cannot remove identifier-less observation: none outstanding"
+                )
+            self._observed -= 1
+            return False
+        bucket_key = (observation.protocol, observation.family)
+        members = self._members.get(bucket_key)
+        addresses = members.get(identifier.value) if members is not None else None
+        count = addresses.get(observation.address) if addresses is not None else None
+        if count is None:
+            raise DatasetError(
+                f"cannot remove unindexed observation {observation.address} "
+                f"({observation.protocol.value}, {observation.family.value})"
+            )
+        if count == 1:
+            del addresses[observation.address]
+            if not addresses:
+                del members[identifier.value]
+        else:
+            addresses[observation.address] = count - 1
+        if observation.asn is not None:
+            asn_refs = self._asn_refs[bucket_key]
+            remaining = asn_refs.get(observation.address, 0) - 1
+            if remaining < 0:
+                raise DatasetError(
+                    f"ASN bookkeeping underflow for {observation.address}: removed "
+                    "an ASN-carrying observation that was never added"
+                )
+            if remaining:
+                asn_refs[observation.address] = remaining
+            else:
+                asn_refs.pop(observation.address, None)
+                self._asn[bucket_key].pop(observation.address, None)
+        self._dirty[bucket_key].add(identifier.value)
+        self._observed -= 1
+        self._indexed -= 1
         return True
 
     def extend(self, observations: Iterable[Observation]) -> None:
         """Index many observations."""
         for observation in observations:
             self.add(observation)
+
+    def apply_delta(
+        self, removed: Iterable[Observation], added: Iterable[Observation]
+    ) -> None:
+        """Replay an observation delta: removals first, then additions."""
+        for observation in removed:
+            self.remove(observation)
+        for observation in added:
+            self.add(observation)
+
+    # ------------------------------------------------------------------ #
+    # Incremental-consumer accessors
+    # ------------------------------------------------------------------ #
+    def consume_dirty(self) -> dict[_BucketKey, set[str]]:
+        """Return and clear the identifiers touched since the last drain.
+
+        Maps each ``(protocol, family)`` bucket to the identifier values
+        whose membership changed.  Buckets touched but emptied again still
+        appear (their identifiers may need dropping from derived caches).
+        """
+        dirty = {key: set(values) for key, values in self._dirty.items() if values}
+        for values in self._dirty.values():
+            values.clear()
+        return dirty
+
+    def bucket_members(
+        self, protocol: ServiceType, family: AddressFamily
+    ) -> dict[str, dict[str, int]]:
+        """Live identifier→{address: refcount} mapping of one bucket.
+
+        Returned by reference for speed — treat as read-only.
+        """
+        return self._members.get((protocol, family), {})
+
+    def bucket_asn(self, protocol: ServiceType, family: AddressFamily) -> dict[str, int]:
+        """Live address→ASN mapping of one bucket (treat as read-only)."""
+        return self._asn.get((protocol, family), {})
+
+    def state_signature(self) -> dict:
+        """Canonical, order-insensitive rendering of the index contents.
+
+        Two indexes that would derive identical collections produce equal
+        signatures, regardless of the insertion/removal history that built
+        them.  Empty buckets and identifiers are dropped, so an index that
+        shrank matches a from-scratch build of the surviving observations.
+        """
+        members: dict = {}
+        for bucket_key, identifiers in self._members.items():
+            cleaned = {
+                value: dict(addresses)
+                for value, addresses in identifiers.items()
+                if addresses
+            }
+            if cleaned:
+                members[bucket_key] = cleaned
+        asn = {key: dict(mapping) for key, mapping in self._asn.items() if mapping}
+        return {
+            "observed": self._observed,
+            "indexed": self._indexed,
+            "members": members,
+            "asn": asn,
+        }
 
     def alias_sets(
         self,
@@ -206,6 +367,74 @@ class AliasReport:
         return counts
 
 
+def assemble_report(
+    name: str,
+    ipv4: dict[ServiceType, AliasSetCollection],
+    ipv6: dict[ServiceType, AliasSetCollection],
+    dual_stack: dict[ServiceType, DualStackCollection],
+) -> AliasReport:
+    """Build the cross-protocol unions and assemble an :class:`AliasReport`.
+
+    Shared by :class:`ResolutionEngine` (which derives the per-protocol
+    collections from a fresh index) and the longitudinal engine (which
+    maintains them incrementally): both produce reports through the same
+    union algebra, so their outputs are directly comparable.
+    """
+    ipv4_union = AliasResolver.union(ipv4.values(), name=f"{name}:union:ipv4")
+    ipv6_union = AliasResolver.union(ipv6.values(), name=f"{name}:union:ipv6")
+    dual_union = union_dual_stack(dual_stack.values(), name=f"{name}:union:dual")
+    return AliasReport(
+        name=name,
+        ipv4=ipv4,
+        ipv6=ipv6,
+        ipv4_union=ipv4_union,
+        ipv6_union=ipv6_union,
+        dual_stack=dual_stack,
+        dual_stack_union=dual_union,
+    )
+
+
+def _collection_signature(collection: AliasSetCollection) -> dict:
+    return {
+        alias_set.identifier: (alias_set.addresses, alias_set.protocols)
+        for alias_set in collection
+    }
+
+
+def _dual_signature(collection: DualStackCollection) -> dict:
+    return {
+        dual_set.identifier: (
+            dual_set.ipv4_addresses,
+            dual_set.ipv6_addresses,
+            dual_set.protocols,
+        )
+        for dual_set in collection
+    }
+
+
+def report_signature(report: AliasReport) -> dict:
+    """Canonical, order-insensitive rendering of an :class:`AliasReport`.
+
+    Incremental re-resolution enumerates identifiers in index insertion
+    order, which differs from the first-occurrence order of a from-scratch
+    stream even when the derived sets are identical.  Comparing signatures
+    instead of collection lists makes report parity an exact equality.
+    The synthetic ``union:<smallest-address>`` labels are already canonical,
+    so union collections compare label-for-label.
+    """
+    return {
+        "name": report.name,
+        "ipv4": {p.value: _collection_signature(c) for p, c in report.ipv4.items()},
+        "ipv6": {p.value: _collection_signature(c) for p, c in report.ipv6.items()},
+        "ipv4_union": _collection_signature(report.ipv4_union),
+        "ipv6_union": _collection_signature(report.ipv6_union),
+        "ipv4_union_asn": report.ipv4_union.address_asn,
+        "ipv6_union_asn": report.ipv6_union.address_asn,
+        "dual_stack": {p.value: _dual_signature(c) for p, c in report.dual_stack.items()},
+        "dual_stack_union": _dual_signature(report.dual_stack_union),
+    }
+
+
 class ResolutionEngine:
     """Builds :class:`AliasReport` objects from one index pass.
 
@@ -245,18 +474,7 @@ class ResolutionEngine:
             protocol: index.dual_stack(protocol, name=f"{name}:{protocol.value}:dual")
             for protocol in PROTOCOLS
         }
-        ipv4_union = AliasResolver.union(ipv4.values(), name=f"{name}:union:ipv4")
-        ipv6_union = AliasResolver.union(ipv6.values(), name=f"{name}:union:ipv6")
-        dual_union = union_dual_stack(dual.values(), name=f"{name}:union:dual")
-        return AliasReport(
-            name=name,
-            ipv4=ipv4,
-            ipv6=ipv6,
-            ipv4_union=ipv4_union,
-            ipv6_union=ipv6_union,
-            dual_stack=dual,
-            dual_stack_union=dual_union,
-        )
+        return assemble_report(name, ipv4, ipv6, dual)
 
     def resolve(
         self, observations: Iterable[Observation], name: str = "dataset"

@@ -22,6 +22,7 @@ import dataclasses
 import functools
 
 from repro.core.pipeline import AliasReport, run_alias_resolution
+from repro.longitudinal.campaign import LongitudinalCampaign, LongitudinalConfig
 from repro.net.addresses import AddressFamily
 from repro.simnet.network import SimulatedInternet, VantagePoint
 from repro.simnet.topology import TopologyConfig, generate_topology
@@ -69,6 +70,8 @@ class PaperScenario:
         self._active_ipv6: ObservationDataset | None = None
         self._censys_ipv4: ObservationDataset | None = None
         self._censys_ipv6: ObservationDataset | None = None
+        self._censys_ipv4_standard: ObservationDataset | None = None
+        self._union_ipv4: ObservationDataset | None = None
         self._hitlist: list[str] | None = None
         self._reports: dict[str, AliasReport] = {}
 
@@ -146,13 +149,22 @@ class PaperScenario:
 
     @property
     def union_ipv4(self) -> ObservationDataset:
-        """Union of the active and Censys IPv4 datasets (default-port only)."""
-        return merge_datasets(self.active_ipv4, self.censys_ipv4, name="union")
+        """Union of the active and Censys IPv4 datasets (default-port only).
+
+        Cached like the raw datasets: several experiment drivers and the
+        CLI touch the union repeatedly, and re-running ``merge_datasets``
+        over both full datasets on every access is pure waste.
+        """
+        if self._union_ipv4 is None:
+            self._union_ipv4 = merge_datasets(self.active_ipv4, self.censys_ipv4, name="union")
+        return self._union_ipv4
 
     @property
     def censys_ipv4_standard(self) -> ObservationDataset:
         """Censys IPv4 data restricted to default ports (paper methodology)."""
-        return filter_standard_ports(self.censys_ipv4)
+        if self._censys_ipv4_standard is None:
+            self._censys_ipv4_standard = filter_standard_ports(self.censys_ipv4)
+        return self._censys_ipv4_standard
 
     # ------------------------------------------------------------------ #
     # Alias resolution reports
@@ -181,6 +193,48 @@ class PaperScenario:
                 self.observations_for(source), name=source
             )
         return self._reports[source]
+
+    # ------------------------------------------------------------------ #
+    # Longitudinal campaigns
+    # ------------------------------------------------------------------ #
+    def longitudinal_campaign(
+        self,
+        snapshots: int = 4,
+        churn_fraction: float = 0.02,
+        interval: float = 7 * 86400.0,
+        include_ipv6: bool = True,
+    ) -> LongitudinalCampaign:
+        """A longitudinal campaign over this scenario's simulated Internet.
+
+        The campaign runs on a *fresh* network generated from the same
+        topology configuration: campaigns inject churn events as they go,
+        and sharing the scenario's network instance would let that churn
+        leak into the cached single-snapshot datasets.
+        """
+        network = generate_topology(self.config.topology_config())
+        hitlist = (
+            build_ipv6_hitlist(
+                network,
+                HitlistConfig(
+                    server_coverage=self.config.hitlist_server_coverage,
+                    router_coverage=self.config.hitlist_router_coverage,
+                    seed=self.config.seed,
+                ),
+            )
+            if include_ipv6
+            else None
+        )
+        return LongitudinalCampaign(
+            network,
+            vantage=self.active_vantage,
+            hitlist=hitlist,
+            config=LongitudinalConfig(
+                snapshots=snapshots,
+                interval=interval,
+                churn_fraction=churn_fraction,
+                seed=self.config.seed,
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # Convenience accessors

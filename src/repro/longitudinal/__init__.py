@@ -1,0 +1,49 @@
+"""Longitudinal resolution: multi-snapshot campaigns with incremental re-resolution.
+
+The subsystem has three layers:
+
+* :mod:`repro.longitudinal.delta` — observation- and alias-set-level
+  diffing between snapshots,
+* :mod:`repro.longitudinal.engine` — the incremental
+  :class:`~repro.longitudinal.engine.LongitudinalEngine`, which replays
+  observation deltas against a live
+  :class:`~repro.core.engine.ObservationIndex` and re-derives only what
+  changed, and
+* :mod:`repro.longitudinal.campaign` — the
+  :class:`~repro.longitudinal.campaign.LongitudinalCampaign` driver that
+  schedules N active-scan snapshots over a churning simulated Internet
+  and computes per-snapshot stability metrics.
+"""
+
+from repro.longitudinal.campaign import (
+    CampaignResult,
+    LongitudinalCampaign,
+    LongitudinalConfig,
+    SnapshotCapture,
+    SnapshotResolution,
+    SnapshotStability,
+)
+from repro.longitudinal.delta import (
+    AliasDelta,
+    ObservationDelta,
+    diff_alias_sets,
+    diff_observations,
+    observation_key,
+)
+from repro.longitudinal.engine import IncrementalResolution, LongitudinalEngine
+
+__all__ = [
+    "AliasDelta",
+    "CampaignResult",
+    "IncrementalResolution",
+    "LongitudinalCampaign",
+    "LongitudinalConfig",
+    "LongitudinalEngine",
+    "ObservationDelta",
+    "SnapshotCapture",
+    "SnapshotResolution",
+    "SnapshotStability",
+    "diff_alias_sets",
+    "diff_observations",
+    "observation_key",
+]

@@ -10,6 +10,7 @@ topology generator and the scanner agree on formats.
 from __future__ import annotations
 
 import enum
+import functools
 import ipaddress
 import random
 from typing import Iterable, Iterator, Union
@@ -43,8 +44,16 @@ def canonical(value: str) -> str:
     return str(parse_address(value))
 
 
+@functools.lru_cache(maxsize=65536)
 def family_of(value: str) -> AddressFamily:
-    """Return the :class:`AddressFamily` of ``value``."""
+    """Return the :class:`AddressFamily` of ``value``.
+
+    Cached: the pipeline asks for the family of the same canonical address
+    strings over and over (every index add/remove consults it), and a dict
+    hit is an order of magnitude cheaper than re-parsing the address.  The
+    cache is bounded, and the address universe of even a large simulated
+    Internet fits comfortably inside it.
+    """
     address = parse_address(value)
     if address.version == 4:
         return AddressFamily.IPV4

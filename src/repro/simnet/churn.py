@@ -55,6 +55,15 @@ class ChurnModel:
         """Every address with a registered churn event."""
         return sorted(self._events)
 
+    def events(self) -> list[ChurnEvent]:
+        """Every registered churn event, ordered by address.
+
+        Lets campaign drivers merge sampled models into a network's live
+        model and attribute measurement-window disruptions to the events
+        whose switch times fall inside the window.
+        """
+        return [self._events[address] for address in sorted(self._events)]
+
     def __len__(self) -> int:
         return len(self._events)
 

@@ -205,6 +205,24 @@ class SimulatedInternet:
         """Forget accumulated per-vantage probe counts (new campaign)."""
         self._probe_counts.clear()
 
+    def _service_answers(
+        self, device: Device, service: ServiceType, address: str, now: float
+    ) -> bool:
+        """Whether ``device`` answers ``service`` on ``address`` at ``now``.
+
+        A churned address is re-homed onto its new device without appearing
+        in that device's interface configuration, so the plain per-interface
+        ACL check would leave it dark.  Re-homed addresses instead answer
+        every service the new device exposes anywhere — with the new
+        device's identity, which is exactly the mechanism behind the paper's
+        MIDAR-vs-SSH disagreement during the three-week window.
+        """
+        if device.answers_on(service, address):
+            return True
+        if self._churn.owner_override(address, now) == device.device_id:
+            return bool(device.service_addresses(service))
+        return False
+
     def _lost(self, *key: object) -> bool:
         return self._chance("loss", *key) < self._loss_rate
 
@@ -225,7 +243,7 @@ class SimulatedInternet:
         service = self._service_on_port(port)
         if service is None or not device.runs_service(service):
             return ProbeOutcome.CLOSED
-        if not device.answers_on(service, address):
+        if not self._service_answers(device, service, address, now):
             return ProbeOutcome.FILTERED
         return ProbeOutcome.RESPONSIVE
 
@@ -244,7 +262,9 @@ class SimulatedInternet:
                 return None
             if self._lost("udp", vantage.name, address, port, int(now)):
                 return None
-            if not device.runs_service(service) or not device.answers_on(service, address):
+            if not device.runs_service(service) or not self._service_answers(
+                device, service, address, now
+            ):
                 return None
             return LoopbackConnection(SnmpEngineBehavior(device.snmp_config, now=now))
         outcome = self.probe_tcp_syn(address, port, vantage, now)

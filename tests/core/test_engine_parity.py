@@ -7,11 +7,12 @@ per-(protocol, family) groupings plus three dual-stack passes).  The
 produces a field-by-field identical :class:`AliasReport` for the paper
 scenario at scale 1.0, seed 42, on all three sources.
 
-The only intended difference is the *labelling* of the synthetic
-``union:<n>`` sets: the seed enumerated components in union-find-root order
-(an implementation detail), the engine orders them canonically by smallest
-member address.  The comparison therefore canonicalises the seed's union
-collections the same way before asserting exact equality.
+The only intended difference is the *labelling* of the synthetic union
+sets: the seed enumerated components in union-find-root order (an
+implementation detail), the engine orders them canonically by smallest
+member address and labels each ``union:<smallest-address>``.  The
+comparison therefore canonicalises the seed's union collections the same
+way before asserting exact equality.
 """
 
 import dataclasses
@@ -226,11 +227,11 @@ def _seed_run_alias_resolution(observations, name="dataset"):
 
 
 def _canonical_alias_union(collection):
-    """Relabel a seed union collection with canonical min-address ordering."""
+    """Relabel a seed union collection with canonical min-address labels."""
     ordered = sorted(collection, key=lambda alias_set: min(alias_set.addresses))
     return [
-        dataclasses.replace(alias_set, identifier=f"union:{index}")
-        for index, alias_set in enumerate(ordered)
+        dataclasses.replace(alias_set, identifier=f"union:{min(alias_set.addresses)}")
+        for alias_set in ordered
     ]
 
 
@@ -239,8 +240,10 @@ def _canonical_dual_union(collection):
         collection, key=lambda dual: min(dual.ipv4_addresses | dual.ipv6_addresses)
     )
     return [
-        dataclasses.replace(dual, identifier=f"union:{index}")
-        for index, dual in enumerate(ordered)
+        dataclasses.replace(
+            dual, identifier=f"union:{min(dual.ipv4_addresses | dual.ipv6_addresses)}"
+        )
+        for dual in ordered
     ]
 
 

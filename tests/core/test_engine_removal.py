@@ -1,0 +1,157 @@
+"""Tests for ObservationIndex removal, reference counts, and dirty tracking."""
+
+import pytest
+
+from repro.core.engine import ObservationIndex
+from repro.core.identifiers import extract_identifier
+from repro.errors import DatasetError
+from repro.net.addresses import AddressFamily
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+
+def snmp_observation(address, engine_id="engine-a", asn=None, timestamp=0.0):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SNMPV3,
+        source="test",
+        port=161,
+        timestamp=timestamp,
+        asn=asn,
+        fields=(("engine_boots", "1"), ("engine_id", engine_id)),
+    )
+
+
+def bare_observation(address):
+    """An observation without identifier material."""
+    return Observation(
+        address=address, protocol=ServiceType.BGP, source="test", port=179
+    )
+
+
+class TestRemoval:
+    def test_remove_is_inverse_of_add(self):
+        index = ObservationIndex()
+        observation = snmp_observation("10.0.0.1")
+        index.add(observation)
+        assert index.remove(observation) is True
+        assert index.observed == 0
+        assert index.indexed == 0
+        assert len(index.alias_sets(ServiceType.SNMPV3, AddressFamily.IPV4)) == 0
+
+    def test_reference_counts_keep_address_until_last_copy(self):
+        index = ObservationIndex()
+        observation = snmp_observation("10.0.0.1")
+        index.add(observation)
+        index.add(observation)
+        index.remove(observation)
+        collection = index.alias_sets(ServiceType.SNMPV3, AddressFamily.IPV4)
+        assert collection.sets[0].addresses == frozenset({"10.0.0.1"})
+        index.remove(observation)
+        assert len(index.alias_sets(ServiceType.SNMPV3, AddressFamily.IPV4)) == 0
+
+    def test_address_can_leave_an_identifier_bucket(self):
+        index = ObservationIndex()
+        index.add(snmp_observation("10.0.0.1"))
+        index.add(snmp_observation("10.0.0.2"))
+        index.remove(snmp_observation("10.0.0.2"))
+        collection = index.alias_sets(ServiceType.SNMPV3, AddressFamily.IPV4)
+        assert collection.sets[0].addresses == frozenset({"10.0.0.1"})
+
+    def test_remove_unknown_observation_raises(self):
+        index = ObservationIndex()
+        index.add(snmp_observation("10.0.0.1"))
+        with pytest.raises(DatasetError):
+            index.remove(snmp_observation("10.0.0.2"))
+
+    def test_remove_identifierless_observation_returns_false(self):
+        index = ObservationIndex()
+        observation = bare_observation("10.0.0.1")
+        assert index.add(observation) is False
+        assert index.remove(observation) is False
+        assert index.observed == 0
+
+    def test_asn_mapping_dropped_with_last_asn_carrying_observation(self):
+        index = ObservationIndex()
+        with_asn = snmp_observation("10.0.0.1", asn=65001)
+        without_asn = snmp_observation("10.0.0.1")
+        index.add(with_asn)
+        index.add(without_asn)
+        index.remove(with_asn)
+        collection = index.alias_sets(ServiceType.SNMPV3, AddressFamily.IPV4)
+        # The surviving observation carried no ASN, so the mapping is gone
+        # (exactly as a from-scratch build of the survivor would have it).
+        assert collection.address_asn == {}
+        assert collection.sets[0].addresses == frozenset({"10.0.0.1"})
+
+    def test_precomputed_identifier_matches_internal_extraction(self):
+        observation = snmp_observation("10.0.0.1")
+        identifier = extract_identifier(observation)
+        via_kwarg = ObservationIndex()
+        via_kwarg.add(observation, identifier)
+        internally = ObservationIndex()
+        internally.add(observation)
+        assert via_kwarg.state_signature() == internally.state_signature()
+        via_kwarg.remove(observation, identifier)
+        assert via_kwarg.indexed == 0
+
+
+class TestDirtyTracking:
+    def test_add_marks_identifier_dirty(self):
+        index = ObservationIndex()
+        observation = snmp_observation("10.0.0.1")
+        index.add(observation)
+        identifier = extract_identifier(observation)
+        dirty = index.consume_dirty()
+        assert dirty == {(ServiceType.SNMPV3, AddressFamily.IPV4): {identifier.value}}
+
+    def test_consume_clears(self):
+        index = ObservationIndex()
+        index.add(snmp_observation("10.0.0.1"))
+        index.consume_dirty()
+        assert index.consume_dirty() == {}
+
+    def test_remove_marks_dirty_again(self):
+        index = ObservationIndex()
+        observation = snmp_observation("10.0.0.1")
+        index.add(observation)
+        index.consume_dirty()
+        index.remove(observation)
+        dirty = index.consume_dirty()
+        assert (ServiceType.SNMPV3, AddressFamily.IPV4) in dirty
+
+    def test_consumed_dirty_is_a_snapshot(self):
+        index = ObservationIndex()
+        index.add(snmp_observation("10.0.0.1"))
+        dirty = index.consume_dirty()
+        index.add(snmp_observation("10.0.0.1", engine_id="engine-b"))
+        # Later mutations must not mutate the snapshot handed out earlier.
+        assert len(dirty[(ServiceType.SNMPV3, AddressFamily.IPV4)]) == 1
+
+
+class TestStateSignature:
+    def test_incremental_equals_from_scratch(self):
+        stream = [
+            snmp_observation("10.0.0.1", asn=65001),
+            snmp_observation("10.0.0.2", asn=65001),
+            snmp_observation("10.0.0.3", engine_id="engine-b", asn=65002),
+            bare_observation("10.0.0.4"),
+        ]
+        incremental = ObservationIndex.build(stream)
+        incremental.add(snmp_observation("10.0.0.9", engine_id="engine-c"))
+        incremental.remove(snmp_observation("10.0.0.9", engine_id="engine-c"))
+        incremental.remove(stream[1])
+        survivors = [stream[0], stream[2], stream[3]]
+        assert (
+            incremental.state_signature()
+            == ObservationIndex.build(survivors).state_signature()
+        )
+
+    def test_signature_ignores_insertion_order(self):
+        forward = ObservationIndex.build(
+            [snmp_observation("10.0.0.1"), snmp_observation("10.0.0.2")]
+        )
+        backward = ObservationIndex.build(
+            [snmp_observation("10.0.0.2"), snmp_observation("10.0.0.1")]
+        )
+        assert forward.state_signature() == backward.state_signature()

@@ -4,8 +4,9 @@ The union step is the one place alias sets from different groupings
 interact, so its algebra matters: it must be idempotent, independent of the
 order collections (and sets within them) are presented in, and it must
 bridge exactly the sets connected through shared addresses — no more, no
-less.  The canonical ``union:<n>`` labelling makes these properties exact
-equalities on the output, not just partition-level equivalences.
+less.  The canonical ``union:<smallest-address>`` labelling makes these
+properties exact equalities on the output, not just partition-level
+equivalences.
 """
 
 import random

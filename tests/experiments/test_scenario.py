@@ -13,6 +13,11 @@ class TestScenario:
         assert scenario.active_ipv4 is scenario.active_ipv4
         assert scenario.report("active") is scenario.report("active")
 
+    def test_derived_datasets_are_cached(self, scenario):
+        # union_ipv4 used to re-run merge_datasets on every access.
+        assert scenario.union_ipv4 is scenario.union_ipv4
+        assert scenario.censys_ipv4_standard is scenario.censys_ipv4_standard
+
     def test_sources_have_expected_protocols(self, scenario):
         assert scenario.active_ipv4.protocols() == {ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3}
         assert ServiceType.SNMPV3 not in scenario.censys_ipv4.protocols()

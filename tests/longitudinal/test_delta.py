@@ -1,0 +1,172 @@
+"""Tests for observation and alias-set diffing between snapshots."""
+
+from repro.core.aliasset import AliasSet
+from repro.longitudinal.delta import (
+    diff_alias_sets,
+    diff_observations,
+    observation_key,
+)
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+
+def observation(address, engine_id="engine-a", timestamp=0.0, asn=None, port=161):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SNMPV3,
+        source="test",
+        port=port,
+        timestamp=timestamp,
+        asn=asn,
+        fields=(("engine_boots", "1"), ("engine_id", engine_id)),
+    )
+
+
+def alias_set(*addresses):
+    return AliasSet(
+        identifier=f"set:{min(addresses)}",
+        addresses=frozenset(addresses),
+        protocols=frozenset((ServiceType.SSH,)),
+    )
+
+
+class TestObservationKey:
+    def test_timestamp_and_source_excluded(self):
+        early = observation("10.0.0.1", timestamp=0.0)
+        late = Observation(
+            address="10.0.0.1",
+            protocol=ServiceType.SNMPV3,
+            source="another-source",
+            port=161,
+            timestamp=999.0,
+            fields=early.fields,
+        )
+        assert observation_key(early) == observation_key(late)
+
+    def test_fields_included(self):
+        assert observation_key(observation("10.0.0.1", engine_id="a")) != observation_key(
+            observation("10.0.0.1", engine_id="b")
+        )
+
+
+class TestDiffObservations:
+    def test_identical_snapshots_empty_delta(self):
+        snapshot = [observation("10.0.0.1"), observation("10.0.0.2")]
+        delta = diff_observations(snapshot, snapshot)
+        assert delta.is_empty
+        assert delta.unchanged == 2
+
+    def test_timestamp_change_is_not_a_delta(self):
+        delta = diff_observations(
+            [observation("10.0.0.1", timestamp=0.0)],
+            [observation("10.0.0.1", timestamp=604800.0)],
+        )
+        assert delta.is_empty
+
+    def test_added_and_removed(self):
+        delta = diff_observations(
+            [observation("10.0.0.1"), observation("10.0.0.2")],
+            [observation("10.0.0.2"), observation("10.0.0.3")],
+        )
+        assert [o.address for o in delta.added] == ["10.0.0.3"]
+        assert [o.address for o in delta.removed] == ["10.0.0.1"]
+        assert delta.unchanged == 1
+
+    def test_identity_change_is_remove_plus_add(self):
+        """An address answering with new identifier material churns."""
+        delta = diff_observations(
+            [observation("10.0.0.1", engine_id="old-device")],
+            [observation("10.0.0.1", engine_id="new-device")],
+        )
+        assert len(delta.added) == 1 and delta.added[0].field("engine_id") == "new-device"
+        assert len(delta.removed) == 1 and delta.removed[0].field("engine_id") == "old-device"
+
+    def test_removed_returns_original_objects(self):
+        original = observation("10.0.0.1")
+        delta = diff_observations([original], [])
+        assert delta.removed[0] is original
+
+    def test_multiset_semantics(self):
+        twice = [observation("10.0.0.1"), observation("10.0.0.1")]
+        once = [observation("10.0.0.1")]
+        shrinking = diff_observations(twice, once)
+        assert len(shrinking.removed) == 1 and not shrinking.added
+        assert shrinking.unchanged == 1
+        growing = diff_observations(once, twice)
+        assert len(growing.added) == 1 and not growing.removed
+
+    def test_port_change_within_bucket(self):
+        delta = diff_observations(
+            [observation("10.0.0.1", port=161)], [observation("10.0.0.1", port=1161)]
+        )
+        assert len(delta.added) == 1 and len(delta.removed) == 1
+
+
+class TestDiffAliasSets:
+    def test_no_change(self):
+        sets = [alias_set("10.0.0.1", "10.0.0.2")]
+        delta = diff_alias_sets(sets, [alias_set("10.0.0.1", "10.0.0.2")])
+        assert delta.unchanged == 1
+        assert delta.changed == 0
+        assert delta.persistence == 1.0
+
+    def test_born(self):
+        delta = diff_alias_sets([], [alias_set("10.0.0.1", "10.0.0.2")])
+        assert delta.born == (frozenset({"10.0.0.1", "10.0.0.2"}),)
+
+    def test_dissolved(self):
+        delta = diff_alias_sets([alias_set("10.0.0.1", "10.0.0.2")], [])
+        assert delta.dissolved == (frozenset({"10.0.0.1", "10.0.0.2"}),)
+        assert delta.persistence == 0.0
+
+    def test_grown(self):
+        delta = diff_alias_sets(
+            [alias_set("10.0.0.1", "10.0.0.2")],
+            [alias_set("10.0.0.1", "10.0.0.2", "10.0.0.3")],
+        )
+        assert delta.grown == (frozenset({"10.0.0.1", "10.0.0.2", "10.0.0.3"}),)
+
+    def test_pure_merge_counts_as_grown(self):
+        delta = diff_alias_sets(
+            [alias_set("10.0.0.1", "10.0.0.2"), alias_set("10.0.0.3", "10.0.0.4")],
+            [alias_set("10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4")],
+        )
+        assert len(delta.grown) == 1
+        assert not delta.migrated
+
+    def test_shrunk_and_split(self):
+        delta = diff_alias_sets(
+            [alias_set("10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4")],
+            [alias_set("10.0.0.1", "10.0.0.2"), alias_set("10.0.0.3", "10.0.0.4")],
+        )
+        assert len(delta.shrunk) == 2
+        # The original set scattered over two current sets: a split.
+        assert delta.split_origins == (
+            frozenset({"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.4"}),
+        )
+
+    def test_migrated(self):
+        delta = diff_alias_sets(
+            [alias_set("10.0.0.1", "10.0.0.2")],
+            [alias_set("10.0.0.1", "10.0.0.9")],
+        )
+        assert delta.migrated == (frozenset({"10.0.0.1", "10.0.0.9"}),)
+
+    def test_disrupted_previous_tracks_every_non_surviving_set(self):
+        unchanged = alias_set("10.0.1.1", "10.0.1.2")
+        delta = diff_alias_sets(
+            [unchanged, alias_set("10.0.0.1", "10.0.0.2")],
+            [unchanged, alias_set("10.0.0.1", "10.0.0.3")],
+        )
+        assert delta.disrupted_previous == (frozenset({"10.0.0.1", "10.0.0.2"}),)
+        assert delta.unchanged == 1
+        assert delta.persistence == 0.5
+
+    def test_counts(self):
+        delta = diff_alias_sets(
+            [alias_set("10.0.0.1", "10.0.0.2")], [alias_set("10.0.0.3", "10.0.0.4")]
+        )
+        counts = delta.counts()
+        assert counts["born"] == 1
+        assert counts["dissolved"] == 1
+        assert counts["unchanged"] == 0

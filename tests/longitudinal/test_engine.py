@@ -1,0 +1,162 @@
+"""Tests for the incremental LongitudinalEngine."""
+
+import pytest
+
+from repro.core.engine import ResolutionEngine, report_signature
+from repro.errors import DatasetError
+from repro.longitudinal.delta import diff_observations
+from repro.longitudinal.engine import LongitudinalEngine
+from repro.net.addresses import AddressFamily
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
+
+
+def ssh_observation(address, device="device-a", asn=None):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SSH,
+        source="test",
+        port=22,
+        asn=asn,
+        fields=(
+            ("banner", "SSH-2.0-OpenSSH_9.4"),
+            ("capability_signature", f"caps-{device}"),
+            ("host_key_fingerprint", f"key-{device}"),
+        ),
+    )
+
+
+def snmp_observation(address, device="device-a", asn=None):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SNMPV3,
+        source="test",
+        port=161,
+        asn=asn,
+        fields=(("engine_boots", "1"), ("engine_id", f"engine-{device}")),
+    )
+
+
+SNAPSHOT_0 = [
+    ssh_observation("10.0.0.1", "alpha", asn=65001),
+    ssh_observation("10.0.0.2", "alpha", asn=65001),
+    ssh_observation("2001:db8::1", "alpha", asn=65001),
+    ssh_observation("10.0.0.3", "beta", asn=65002),
+    snmp_observation("10.0.0.3", "beta", asn=65002),
+    snmp_observation("10.0.0.4", "beta", asn=65002),
+    ssh_observation("10.0.0.9", "gamma"),
+]
+
+# 10.0.0.2 churns from device alpha to device beta; gamma goes dark;
+# a brand-new device appears.
+SNAPSHOT_1 = [
+    ssh_observation("10.0.0.1", "alpha", asn=65001),
+    ssh_observation("2001:db8::1", "alpha", asn=65001),
+    ssh_observation("10.0.0.2", "beta", asn=65001),
+    ssh_observation("10.0.0.3", "beta", asn=65002),
+    snmp_observation("10.0.0.3", "beta", asn=65002),
+    snmp_observation("10.0.0.4", "beta", asn=65002),
+    ssh_observation("10.0.0.7", "delta"),
+    ssh_observation("10.0.0.8", "delta"),
+]
+
+
+def test_bootstrap_matches_from_scratch():
+    engine = LongitudinalEngine()
+    resolution = engine.bootstrap(SNAPSHOT_0, name="s0")
+    reference = ResolutionEngine().resolve(SNAPSHOT_0, name="s0")
+    assert report_signature(resolution.report) == report_signature(reference)
+
+
+def test_apply_matches_from_scratch():
+    engine = LongitudinalEngine()
+    engine.bootstrap(SNAPSHOT_0, name="s0")
+    delta = diff_observations(SNAPSHOT_0, SNAPSHOT_1)
+    resolution = engine.apply(delta, name="s1")
+    reference = ResolutionEngine().resolve(SNAPSHOT_1, name="s1")
+    assert report_signature(resolution.report) == report_signature(reference)
+
+
+def test_apply_back_and_forth_restores_original_report():
+    engine = LongitudinalEngine()
+    first = engine.bootstrap(SNAPSHOT_0, name="s")
+    forward = diff_observations(SNAPSHOT_0, SNAPSHOT_1)
+    engine.apply(forward, name="s")
+    backward = diff_observations(SNAPSHOT_1, SNAPSHOT_0)
+    restored = engine.apply(backward, name="s")
+    assert report_signature(restored.report) == report_signature(first.report)
+
+
+def test_unchanged_sets_are_reused_by_identity():
+    engine = LongitudinalEngine()
+    before = engine.bootstrap(SNAPSHOT_0, name="s")
+    delta = diff_observations(SNAPSHOT_0, SNAPSHOT_1)
+    after = engine.apply(delta, name="s")
+    # Device beta's SNMP set is untouched by the delta: the exact same
+    # AliasSet object must appear in both snapshots' collections.
+    def snmp_sets(report):
+        return {
+            alias_set.identifier: alias_set
+            for alias_set in report.ipv4[ServiceType.SNMPV3]
+        }
+    before_sets = snmp_sets(before.report)
+    after_sets = snmp_sets(after.report)
+    assert before_sets.keys() == after_sets.keys()
+    for identifier, alias_set in before_sets.items():
+        assert after_sets[identifier] is alias_set
+
+
+def test_untouched_union_components_are_reused_by_identity():
+    engine = LongitudinalEngine()
+    before = engine.bootstrap(SNAPSHOT_0, name="s")
+    after = engine.apply(diff_observations(SNAPSHOT_0, SNAPSHOT_1), name="s")
+    # Alpha's IPv6 component is untouched by the delta: same object.
+    before_v6 = {s.identifier: s for s in before.report.ipv6_union}
+    after_v6 = {s.identifier: s for s in after.report.ipv6_union}
+    assert before_v6.keys() == after_v6.keys()
+    for identifier, alias_set in before_v6.items():
+        assert after_v6[identifier] is alias_set
+    # Any IPv4 component that survived with identical membership must also
+    # be carried over by reference, not rebuilt.
+    before_union = {s.identifier: s for s in before.report.ipv4_union}
+    after_union = {s.identifier: s for s in after.report.ipv4_union}
+    for identifier in before_union.keys() & after_union.keys():
+        if before_union[identifier].addresses == after_union[identifier].addresses:
+            assert before_union[identifier] is after_union[identifier]
+
+
+def test_alias_delta_reports_churn_movement():
+    engine = LongitudinalEngine()
+    engine.bootstrap(SNAPSHOT_0, name="s")
+    resolution = engine.apply(diff_observations(SNAPSHOT_0, SNAPSHOT_1), name="s")
+    delta = resolution.ipv4_delta
+    # Device delta's pair is brand new.
+    assert frozenset({"10.0.0.7", "10.0.0.8"}) in delta.born
+    # 10.0.0.2 moved from alpha to beta: the combined coverage of its two
+    # matched previous sets ({1,2} and {3,4}) lost 10.0.0.1 (now a
+    # singleton), so the surviving {2,3,4} classifies as shrunk and alpha's
+    # old set is disrupted.
+    assert frozenset({"10.0.0.2", "10.0.0.3", "10.0.0.4"}) in delta.shrunk
+    assert frozenset({"10.0.0.1", "10.0.0.2"}) in delta.disrupted_previous
+
+
+def test_apply_before_bootstrap_rejected():
+    engine = LongitudinalEngine()
+    with pytest.raises(DatasetError):
+        engine.apply(diff_observations([], SNAPSHOT_0), name="s")
+
+
+def test_double_bootstrap_rejected():
+    engine = LongitudinalEngine()
+    engine.bootstrap(SNAPSHOT_0, name="s")
+    with pytest.raises(DatasetError):
+        engine.bootstrap(SNAPSHOT_1, name="s")
+
+
+def test_report_property_tracks_latest():
+    engine = LongitudinalEngine()
+    assert engine.report is None
+    engine.bootstrap(SNAPSHOT_0, name="s0")
+    assert engine.report is not None and engine.report.name == "s0"
+    engine.apply(diff_observations(SNAPSHOT_0, SNAPSHOT_1), name="s1")
+    assert engine.report.name == "s1"

@@ -1,0 +1,92 @@
+"""Tie-breaking tests for merge_datasets (the paper's dataset union rules)."""
+
+from repro.simnet.device import ServiceType
+from repro.sources.merge import merge_datasets
+from repro.sources.records import Observation, ObservationDataset
+
+SSH_FIELDS = (
+    ("banner", "SSH-2.0-OpenSSH_9.4"),
+    ("capability_signature", "caps"),
+    ("host_key_fingerprint", "key"),
+)
+
+
+def observation(
+    address="10.0.0.1",
+    protocol=ServiceType.SSH,
+    port=22,
+    timestamp=0.0,
+    fields=SSH_FIELDS,
+    source="test",
+):
+    return Observation(
+        address=address,
+        protocol=protocol,
+        source=source,
+        port=port,
+        timestamp=timestamp,
+        fields=fields,
+    )
+
+
+def dataset(name, *observations):
+    return ObservationDataset(name, observations)
+
+
+class TestTieBreaking:
+    def test_identifier_material_beats_timestamp(self):
+        """A fresh but empty observation must not displace identifier data."""
+        with_material = observation(timestamp=0.0, source="old")
+        without_material = observation(timestamp=999.0, fields=(), source="new")
+        merged = merge_datasets(
+            dataset("a", with_material), dataset("b", without_material)
+        )
+        assert list(merged) == [with_material]
+        # Input order must not matter for the outcome.
+        merged = merge_datasets(
+            dataset("a", without_material), dataset("b", with_material)
+        )
+        assert list(merged) == [with_material]
+
+    def test_later_timestamp_wins_among_identifier_carriers(self):
+        early = observation(timestamp=10.0, source="early")
+        late = observation(timestamp=20.0, source="late")
+        merged = merge_datasets(dataset("a", early), dataset("b", late))
+        assert list(merged) == [late]
+        merged = merge_datasets(dataset("a", late), dataset("b", early))
+        assert list(merged) == [late]
+
+    def test_later_timestamp_wins_among_empty_observations(self):
+        early = observation(timestamp=10.0, fields=(), source="early")
+        late = observation(timestamp=20.0, fields=(), source="late")
+        merged = merge_datasets(dataset("a", early), dataset("b", late))
+        assert list(merged) == [late]
+
+    def test_equal_timestamps_keep_first_seen(self):
+        first = observation(timestamp=10.0, source="first")
+        second = observation(timestamp=10.0, source="second")
+        merged = merge_datasets(dataset("a", first), dataset("b", second))
+        # _prefer uses a strict comparison: ties keep the incumbent.
+        assert list(merged) == [first]
+
+
+class TestFiltering:
+    def test_non_standard_ports_dropped(self):
+        standard = observation(port=22)
+        odd_port = observation(address="10.0.0.2", port=2222)
+        merged = merge_datasets(dataset("a", standard, odd_port))
+        assert list(merged) == [standard]
+
+    def test_protocol_filter_drops_other_protocols(self):
+        ssh = observation()
+        bgp = observation(address="10.0.0.2", protocol=ServiceType.BGP, port=179, fields=())
+        merged = merge_datasets(
+            dataset("a", ssh, bgp), protocols=(ServiceType.SSH,)
+        )
+        assert list(merged) == [ssh]
+
+    def test_distinct_protocols_on_one_address_both_kept(self):
+        ssh = observation()
+        bgp = observation(protocol=ServiceType.BGP, port=179, fields=())
+        merged = merge_datasets(dataset("a", ssh, bgp))
+        assert set(merged) == {ssh, bgp}

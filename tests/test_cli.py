@@ -70,7 +70,42 @@ class TestExperimentsAndClaims:
         assert exit_code in (0, 1)
 
 
+class TestLongitudinal:
+    def test_longitudinal_prints_stability_tables(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "longitudinal",
+                "--scale", "0.05",
+                "--seed", "3",
+                "--snapshots", "2",
+                "--churn", "0.05",
+                "--output", str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Longitudinal stability (IPv4 union" in output
+        assert "Longitudinal stability (IPv6 union" in output
+        assert "incrementally re-resolved 1 deltas" in output
+        markdown = (tmp_path / "stability.md").read_text()
+        assert markdown.startswith("# Longitudinal stability report")
+
+    def test_longitudinal_ipv4_only(self, capsys):
+        exit_code = main(
+            ["longitudinal", "--scale", "0.05", "--snapshots", "2", "--ipv4-only"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "IPv6 union" not in output
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_scan_defaults_to_full_scale(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["scan", "--output", "out"])
+        assert args.scale == 1.0
