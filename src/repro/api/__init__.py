@@ -1,0 +1,76 @@
+"""The composable session API.
+
+The canonical way to assemble and run a reproduction:
+
+>>> from repro.api import ReproSession, ScanPlan, ScenarioConfig
+>>> session = ReproSession(ScenarioConfig(scale=0.1, seed=7))
+>>> report = session.report("union")              # paper composition
+>>> result = session.run_plan(ScanPlan.spread(3))  # multi-vantage
+>>> text = session.run_experiment("table3")        # registered experiment
+
+Submodules:
+
+* :mod:`repro.api.registry` — the generic name → value registry primitive.
+* :mod:`repro.api.sources` — declarative :class:`SourceSpec` observation
+  sources, combinators, and the pluggable source registries.
+* :mod:`repro.api.plan` — multi-vantage :class:`ScanPlan` execution over one
+  shared observation index.
+* :mod:`repro.api.parallel` — sharded parallel index build.
+* :mod:`repro.api.experiments` — the ``@experiment`` registry behind the
+  runner and the CLI.
+* :mod:`repro.api.session` — the :class:`ReproSession` facade tying it all
+  together.
+"""
+
+from repro.api.config import ScenarioConfig
+from repro.api.experiments import (
+    Experiment,
+    experiment,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
+from repro.api.parallel import build_index_parallel, resolve_parallel, shard_observations
+from repro.api.plan import Coverage, PlanResult, ScanPlan, VantageSpec
+from repro.api.registry import Registry, RegistryEntry
+from repro.api.session import ReproSession, repro_session
+from repro.api.sources import (
+    SOURCE_KINDS,
+    SOURCES,
+    SourceSpec,
+    concat,
+    named_source,
+    register_source,
+    source_kind,
+    standard_ports,
+    union_of,
+)
+
+__all__ = [
+    "Coverage",
+    "Experiment",
+    "PlanResult",
+    "Registry",
+    "RegistryEntry",
+    "ReproSession",
+    "ScanPlan",
+    "ScenarioConfig",
+    "SourceSpec",
+    "SOURCE_KINDS",
+    "SOURCES",
+    "VantageSpec",
+    "build_index_parallel",
+    "concat",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "named_source",
+    "register_experiment",
+    "register_source",
+    "repro_session",
+    "resolve_parallel",
+    "shard_observations",
+    "source_kind",
+    "standard_ports",
+    "union_of",
+]

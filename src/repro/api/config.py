@@ -1,0 +1,35 @@
+"""Session configuration.
+
+:class:`ScenarioConfig` predates the session API (it configured the old
+``PaperScenario``) and keeps its name because it describes exactly that:
+the evaluation scenario — topology scale and seed plus the knobs of the
+built-in sources.  It lives here so both the session facade and the
+back-compat scenario shim can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.simnet.topology import TopologyConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioConfig:
+    """Configuration of the evaluation scenario.
+
+    ``scale`` multiplies the device counts of the default paper topology;
+    1.0 gives a few tens of thousands of addresses, which reproduces every
+    distributional result at laptop scale.
+    """
+
+    scale: float = 1.0
+    seed: int = 42
+    loss_rate: float = 0.01
+    hitlist_server_coverage: float = 0.8
+    hitlist_router_coverage: float = 0.4
+    censys_miss_rate: float = 0.12
+
+    def topology_config(self) -> TopologyConfig:
+        """The topology configuration implied by this scenario config."""
+        return TopologyConfig(seed=self.seed, scale=self.scale, loss_rate=self.loss_rate)

@@ -1,0 +1,134 @@
+"""The experiment registry.
+
+Every table and figure driver registers itself with the
+:func:`experiment` decorator instead of being hard-wired into a dict in
+``runner.py``; the CLI, the runner and :class:`~repro.api.session.ReproSession`
+all enumerate and run experiments through this registry, so a new driver —
+in-tree or user-defined — appears everywhere by virtue of being imported.
+
+The uniform protocol is the one the in-tree drivers already follow:
+
+* ``build(session)`` → a result object (dataclass with the measured numbers),
+* ``render(result)`` → the table or figure as text.
+
+The decorator goes on ``build`` and resolves ``render`` from the same module
+lazily (the module is still half-executed when the decorator runs, as
+``render`` is conventionally defined below ``build``).  Drivers that keep
+build and render elsewhere register with :func:`register_experiment`
+directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import sys
+from typing import Any, Callable
+
+from repro.api.registry import Registry
+
+#: Modules whose import registers the paper's ten experiments.
+BUILTIN_EXPERIMENT_MODULES = tuple(
+    f"repro.experiments.{name}"
+    for name in (
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "figure3", "figure4", "figure5", "figure6",
+    )
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: name, description, build/render protocol."""
+
+    name: str
+    description: str
+    build: Callable[[Any], Any]
+    render: Callable[[Any], str]
+
+    def run(self, session: Any) -> str:
+        """Build the experiment on ``session`` and render it as text."""
+        return self.render(self.build(session))
+
+
+EXPERIMENTS: Registry[Experiment] = Registry("experiment")
+
+
+def register_experiment(
+    name: str,
+    build: Callable[[Any], Any],
+    render: Callable[[Any], str],
+    description: str = "",
+    replace: bool = False,
+) -> Experiment:
+    """Register an experiment from explicit build and render callables."""
+    registered = Experiment(name=name, description=description, build=build, render=render)
+    EXPERIMENTS.add(name, registered, description=description, replace=replace)
+    return registered
+
+
+def experiment(name: str, description: str = "", replace: bool = False):
+    """Decorator for a driver module's ``build`` function.
+
+    ``render`` is looked up on the decorated function's module at call time,
+    completing the build/render protocol without forcing modules to reorder
+    their definitions.
+    """
+
+    def decorate(build_fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+        module_name = build_fn.__module__
+
+        def module_render(result: Any) -> str:
+            return sys.modules[module_name].render(result)
+
+        register_experiment(
+            name,
+            build=build_fn,
+            render=module_render,
+            description=description or _first_doc_line(build_fn),
+            replace=replace,
+        )
+        return build_fn
+
+    return decorate
+
+
+def _first_doc_line(fn: Callable) -> str:
+    doc = fn.__doc__ or ""
+    for line in doc.splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def ensure_builtin_experiments() -> None:
+    """Import the in-tree drivers so their registrations exist (idempotent)."""
+    for module in BUILTIN_EXPERIMENT_MODULES:
+        importlib.import_module(module)
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment by name (built-ins included)."""
+    ensure_builtin_experiments()
+    return EXPERIMENTS.get(name)
+
+
+def experiment_names() -> list[str]:
+    """Every registered experiment name (built-ins included).
+
+    Built-ins come first in their canonical paper order (tables, then
+    figures) — registration order follows whichever module happened to be
+    imported first, which is not a presentation order — followed by other
+    registrations in registration order.
+    """
+    ensure_builtin_experiments()
+    builtin = [module.rsplit(".", 1)[1] for module in BUILTIN_EXPERIMENT_MODULES]
+    names = EXPERIMENTS.names()
+    return [name for name in builtin if name in names] + [
+        name for name in names if name not in builtin
+    ]
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment (built-ins included)."""
+    return [EXPERIMENTS.get(name) for name in experiment_names()]

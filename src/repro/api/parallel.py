@@ -1,0 +1,145 @@
+"""Parallel sharded index build.
+
+The :class:`~repro.core.engine.ObservationIndex` pass is the only stage of
+resolution that touches raw observations, and its bucket structure merges
+disjointly when the stream is partitioned by address: every occurrence of an
+address lands in the same shard, so per-shard indexes never share an
+(identifier, address) cell and :meth:`ObservationIndex.merge` reassembles
+exactly what a serial pass would have built.
+
+:func:`build_index_parallel` shards the stream once in the parent with a
+stable address hash, builds one index per shard across worker processes,
+and merges.  On POSIX the workers are forked *after* the shard lists
+exist, so each shard travels to its worker as a bare shard number (the
+lists are inherited through fork) and only the much smaller per-shard
+indexes are pickled back.  Where fork is unavailable the shard lists are
+shipped explicitly.
+
+``workers=1`` (or a single-shard stream) falls back to the serial build, so
+callers can wire a ``--workers`` flag straight through.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.core.engine import AliasReport, ObservationIndex, ResolutionEngine
+from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions
+from repro.sources.records import Observation
+
+#: Fork-inherited worker state: (shard lists, options).  Set under
+#: :data:`_FORK_LOCK` immediately before the pool forks and read only by
+#: the forked children, so concurrent builds cannot see each other's data.
+_FORK_STATE: dict = {}
+_FORK_LOCK = threading.Lock()
+
+
+def shard_of(address: str, shards: int) -> int:
+    """The shard an address belongs to (stable across processes and runs).
+
+    ``zlib.crc32`` rather than :func:`hash`: string hashing is salted per
+    interpreter, and shard assignment must agree between the parent and
+    every worker.
+    """
+    return zlib.crc32(address.encode("utf-8")) % shards
+
+
+def shard_observations(
+    observations: Iterable[Observation], shards: int
+) -> list[list[Observation]]:
+    """Partition a stream by address hash into ``shards`` lists."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    partitions: list[list[Observation]] = [[] for _ in range(shards)]
+    for observation in observations:
+        partitions[shard_of(observation.address, shards)].append(observation)
+    return partitions
+
+
+def _build_shard_forked(shard: int) -> ObservationIndex:
+    """Worker body on fork platforms: the shard arrives via inherited memory.
+
+    The parent shards once before forking, so each child touches only its
+    own shard's observations instead of re-hashing the full stream.
+    """
+    index = ObservationIndex(_FORK_STATE["options"])
+    for observation in _FORK_STATE["shards"][shard]:
+        index.add(observation)
+    return index
+
+
+def _build_shard_explicit(
+    payload: tuple[Sequence[Observation], IdentifierOptions],
+) -> ObservationIndex:
+    """Worker body on spawn platforms: the shard list is pickled over."""
+    observations, options = payload
+    index = ObservationIndex(options)
+    for observation in observations:
+        index.add(observation)
+    return index
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count argument (``None`` → one per CPU)."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def build_index_parallel(
+    observations: Iterable[Observation],
+    workers: int | None = None,
+    options: IdentifierOptions = DEFAULT_OPTIONS,
+) -> ObservationIndex:
+    """Build an :class:`ObservationIndex` across ``workers`` processes.
+
+    Produces an index whose derived report is identical (by
+    :func:`~repro.core.engine.report_signature`) to a serial
+    :meth:`ObservationIndex.build` over the same stream.
+    """
+    observation_list = (
+        observations if isinstance(observations, list) else list(observations)
+    )
+    workers = min(resolve_workers(workers), max(1, len(observation_list)))
+    if workers == 1:
+        return ObservationIndex.build(observation_list, options)
+
+    shards = shard_observations(observation_list, workers)
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_STATE["shards"] = shards
+            _FORK_STATE["options"] = options
+            try:
+                with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                    shard_indexes = list(pool.map(_build_shard_forked, range(workers)))
+            finally:
+                _FORK_STATE.clear()
+    else:  # pragma: no cover - non-POSIX fallback
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shard_indexes = list(
+                pool.map(_build_shard_explicit, [(shard, options) for shard in shards])
+            )
+
+    merged = ObservationIndex(options)
+    for shard_index in shard_indexes:
+        merged.merge(shard_index)
+    return merged
+
+
+def resolve_parallel(
+    observations: Iterable[Observation],
+    name: str = "dataset",
+    workers: int | None = None,
+    options: IdentifierOptions = DEFAULT_OPTIONS,
+) -> AliasReport:
+    """Full alias resolution with the index built across worker processes."""
+    index = build_index_parallel(observations, workers=workers, options=options)
+    return ResolutionEngine(options).report(index, name=name)

@@ -1,0 +1,269 @@
+"""Multi-vantage scan plans.
+
+The paper measures from one vantage point and buys breadth by merging in a
+distributed snapshot; a :class:`ScanPlan` generalises the active side of
+that: N vantage points, each running the active campaign with its own seed
+and source address, all feeding **one shared**
+:class:`~repro.core.engine.ObservationIndex` through incremental
+``extend``.  Because rate limiting in the simulated Internet is budgeted
+per vantage, additional vantage points genuinely widen coverage — exactly
+the effect the plan's per-vantage vs merged coverage table quantifies.
+
+Per-vantage datasets resolve through the session's source-spec cache (the
+default single-vantage plan shares its campaign with ``report("active")``),
+and the merged report comes from the shared index, so a plan's report over
+vantages ``v1..vn`` is identical to a single-stream resolution over their
+concatenated observations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.api.sources import (
+    ACTIVE_IPV4_SEED_OFFSET,
+    ACTIVE_IPV6_LAG,
+    ACTIVE_IPV6_SEED_OFFSET,
+    CENSYS_SNAPSHOT_LEAD,
+    DEFAULT_VANTAGE_ADDRESS,
+    DEFAULT_VANTAGE_NAME,
+    ParamValue,
+    SourceSpec,
+)
+from repro.core.engine import AliasReport, ObservationIndex, ResolutionEngine
+from repro.net.addresses import AddressFamily
+from repro.sources.records import Observation, iter_observations
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.api.session import ReproSession
+
+#: Builder-default parameter values per active kind; parameters matching the
+#: default are pruned from generated specs so the default plan's specs equal
+#: the bare ``active-ipv4``/``active-ipv6`` specs and share their cache.
+#: Built from the constants the builders themselves default to, so the two
+#: sides cannot drift apart.
+_SPEC_DEFAULTS: dict[str, dict[str, ParamValue]] = {
+    "active-ipv4": {
+        "seed_offset": ACTIVE_IPV4_SEED_OFFSET,
+        "start_time": CENSYS_SNAPSHOT_LEAD,
+        "vantage_name": DEFAULT_VANTAGE_NAME,
+        "vantage_address": DEFAULT_VANTAGE_ADDRESS,
+        "distributed": False,
+    },
+    "active-ipv6": {
+        "seed_offset": ACTIVE_IPV6_SEED_OFFSET,
+        "start_time": CENSYS_SNAPSHOT_LEAD + ACTIVE_IPV6_LAG,
+        "vantage_name": DEFAULT_VANTAGE_NAME,
+        "vantage_address": DEFAULT_VANTAGE_ADDRESS,
+        "distributed": False,
+    },
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class VantageSpec:
+    """One vantage point of a scan plan.
+
+    ``seed_offset`` shifts the campaign seeds so vantages sample probe-level
+    randomness independently; the IPv6 campaign uses ``seed_offset + 1``,
+    mirroring the single-vantage scenario.
+    """
+
+    name: str
+    address: str = DEFAULT_VANTAGE_ADDRESS
+    distributed: bool = False
+    seed_offset: int = 0
+    include_ipv6: bool = True
+
+    def ipv4_spec(self, plan: "ScanPlan") -> SourceSpec:
+        """The active IPv4 source spec this vantage contributes."""
+        return _pruned_spec(
+            "active-ipv4",
+            seed_offset=self.seed_offset,
+            start_time=plan.start_time,
+            vantage_name=self.name,
+            vantage_address=self.address,
+            distributed=self.distributed,
+        )
+
+    def ipv6_spec(self, plan: "ScanPlan") -> SourceSpec:
+        """The active IPv6 (hitlist) source spec this vantage contributes."""
+        return _pruned_spec(
+            "active-ipv6",
+            seed_offset=self.seed_offset + 1,
+            start_time=plan.start_time + plan.ipv6_lag,
+            vantage_name=self.name,
+            vantage_address=self.address,
+            distributed=self.distributed,
+        )
+
+    def specs(self, plan: "ScanPlan") -> tuple[SourceSpec, ...]:
+        """Every source spec this vantage contributes to ``plan``."""
+        if self.include_ipv6:
+            return (self.ipv4_spec(plan), self.ipv6_spec(plan))
+        return (self.ipv4_spec(plan),)
+
+
+def _pruned_spec(kind: str, **params: ParamValue) -> SourceSpec:
+    defaults = _SPEC_DEFAULTS[kind]
+    kept = {key: value for key, value in params.items() if value != defaults[key]}
+    return SourceSpec.create(kind, **kept)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanPlan:
+    """N vantage points feeding one shared observation index."""
+
+    vantages: tuple[VantageSpec, ...]
+    name: str = "active"
+    start_time: float = CENSYS_SNAPSHOT_LEAD
+    ipv6_lag: float = ACTIVE_IPV6_LAG
+
+    def __post_init__(self) -> None:
+        if not self.vantages:
+            raise ValueError("a scan plan needs at least one vantage point")
+
+    @classmethod
+    def default(cls) -> "ScanPlan":
+        """The paper's plan: the single ``active-de`` vantage point.
+
+        Running this plan reproduces ``report("active")`` exactly.
+        """
+        return cls(vantages=(VantageSpec(name=DEFAULT_VANTAGE_NAME),))
+
+    @classmethod
+    def spread(cls, count: int, include_ipv6: bool = True, name: str = "multi-vantage") -> "ScanPlan":
+        """``count`` vantage points with distinct origins and seeds.
+
+        Vantage addresses live in TEST-NET-3 and differ per vantage, so each
+        gets its own rate-limiting budget in every target AS.
+        """
+        if count < 1:
+            raise ValueError("a scan plan needs at least one vantage point")
+        vantages = tuple(
+            VantageSpec(
+                name=f"vantage-{index + 1}",
+                address=f"203.0.113.{index + 1}",
+                seed_offset=10 * index,
+                include_ipv6=include_ipv6,
+            )
+            for index in range(count)
+        )
+        return cls(vantages=vantages, name=name)
+
+
+@dataclasses.dataclass(frozen=True)
+class Coverage:
+    """What one vantage (or the merged plan) observed."""
+
+    label: str
+    observations: int
+    indexed: int
+    ipv4_addresses: int
+    ipv6_addresses: int
+    protocol_addresses: tuple[tuple[str, int], ...]
+
+
+class _CoverageAccumulator:
+    """Distinct-address tallies, fed in the same pass that fills the index."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.observations = 0
+        self._families: dict[AddressFamily, set[str]] = {
+            AddressFamily.IPV4: set(),
+            AddressFamily.IPV6: set(),
+        }
+        self._per_protocol: dict[str, set[str]] = {}
+
+    def add(self, observation: Observation) -> None:
+        self.observations += 1
+        self._families[observation.family].add(observation.address)
+        self._per_protocol.setdefault(observation.protocol.value, set()).add(
+            observation.address
+        )
+
+    def coverage(self, indexed: int) -> Coverage:
+        return Coverage(
+            label=self.label,
+            observations=self.observations,
+            indexed=indexed,
+            ipv4_addresses=len(self._families[AddressFamily.IPV4]),
+            ipv6_addresses=len(self._families[AddressFamily.IPV6]),
+            protocol_addresses=tuple(
+                (protocol, len(addresses))
+                for protocol, addresses in sorted(self._per_protocol.items())
+            ),
+        )
+
+
+@dataclasses.dataclass
+class PlanResult:
+    """A scan plan's merged resolution plus its coverage breakdown."""
+
+    plan: ScanPlan
+    vantage_coverage: tuple[Coverage, ...]
+    merged_coverage: Coverage
+    report: AliasReport
+    index: ObservationIndex
+
+    def coverage_markdown(self) -> str:
+        """Per-vantage vs merged coverage as a markdown table."""
+        protocols = [protocol for protocol, _ in self.merged_coverage.protocol_addresses]
+        header = ["Vantage", "Observations", "IPv4 addrs", "IPv6 addrs"] + [
+            f"{protocol} addrs" for protocol in protocols
+        ]
+        lines = [
+            f"# Scan plan coverage — {self.plan.name}",
+            "",
+            "| " + " | ".join(header) + " |",
+            "|" + "---|" * len(header),
+        ]
+        for coverage in (*self.vantage_coverage, self.merged_coverage):
+            by_protocol = dict(coverage.protocol_addresses)
+            cells = [
+                coverage.label,
+                str(coverage.observations),
+                str(coverage.ipv4_addresses),
+                str(coverage.ipv6_addresses),
+            ] + [str(by_protocol.get(protocol, 0)) for protocol in protocols]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+        lines.append(
+            f"merged non-singleton IPv4 union sets: {len(self.report.ipv4_union.non_singleton())}"
+        )
+        return "\n".join(lines)
+
+
+def run_scan_plan(session: "ReproSession", plan: ScanPlan) -> PlanResult:
+    """Execute ``plan`` on ``session``: N vantage streams, one shared index.
+
+    Each vantage's datasets resolve through the session cache, then stream
+    into the shared index via incremental ``extend`` — the merged report is
+    therefore identical to a single-stream resolution over the concatenated
+    observations, which is what makes multi-vantage results directly
+    comparable to the paper's single-stream ones.
+    """
+    index = ObservationIndex(session.options)
+    coverages: list[Coverage] = []
+    merged_accumulator = _CoverageAccumulator("merged")
+    for vantage in plan.vantages:
+        datasets = [session.dataset(spec) for spec in vantage.specs(plan)]
+        indexed_before = index.indexed
+        accumulator = _CoverageAccumulator(vantage.name)
+        # One pass per vantage: index and both coverage tallies together.
+        for observation in iter_observations(*datasets):
+            index.add(observation)
+            accumulator.add(observation)
+            merged_accumulator.add(observation)
+        coverages.append(accumulator.coverage(index.indexed - indexed_before))
+    merged = merged_accumulator.coverage(index.indexed)
+    report = ResolutionEngine(session.options).report(index, name=plan.name)
+    return PlanResult(
+        plan=plan,
+        vantage_coverage=tuple(coverages),
+        merged_coverage=merged,
+        report=report,
+        index=index,
+    )

@@ -1,0 +1,97 @@
+"""The registry primitive behind the composable session API.
+
+Both extension points of the session API — observation sources and
+experiments — share the same lifecycle: built-ins register at import time,
+user code registers more at runtime, the CLI enumerates what is available,
+and lookups by name must fail with a message that lists the alternatives
+(the difference between a usable ``--sources`` flag and a stack trace).
+:class:`Registry` implements exactly that lifecycle once, so the two
+domain registries in :mod:`repro.api.sources` and
+:mod:`repro.api.experiments` stay thin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.errors import RegistryError
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One named, described item of a registry."""
+
+    name: str
+    value: T
+    description: str
+
+
+class Registry(Generic[T]):
+    """A name → value mapping with descriptions and helpful failures.
+
+    ``kind`` names what the registry holds ("source", "experiment", …) and
+    only appears in error messages.  Registration order is preserved, so
+    enumerations (``--list`` flags, documentation) show built-ins first in
+    the order they were declared.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: dict[str, RegistryEntry[T]] = {}
+
+    @property
+    def kind(self) -> str:
+        """What this registry holds (used in error messages)."""
+        return self._kind
+
+    def add(self, name: str, value: T, description: str = "", replace: bool = False) -> T:
+        """Register ``value`` under ``name``; returns ``value`` unchanged.
+
+        Re-registration is refused unless ``replace=True`` — two built-ins
+        silently fighting over one name is a bug, while tests and user code
+        that deliberately override an entry can say so.
+        """
+        if not name:
+            raise RegistryError(f"{self._kind} name must be non-empty")
+        if name in self._entries and not replace:
+            raise RegistryError(f"{self._kind} {name!r} is already registered")
+        self._entries[name] = RegistryEntry(name=name, value=value, description=description)
+        return value
+
+    def register(self, name: str, description: str = "", replace: bool = False) -> Callable[[T], T]:
+        """Decorator form of :meth:`add`."""
+
+        def decorate(value: T) -> T:
+            return self.add(name, value, description=description, replace=replace)
+
+        return decorate
+
+    def get(self, name: str) -> T:
+        """Look up one entry's value; unknown names list the known ones."""
+        return self.entry(name).value
+
+    def entry(self, name: str) -> RegistryEntry[T]:
+        """Look up one entry (value plus description)."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self._entries) or "<none registered>"
+            raise RegistryError(
+                f"unknown {self._kind} {name!r} (known: {known})"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered names, in registration order."""
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[RegistryEntry[T]]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

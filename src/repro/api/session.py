@@ -1,0 +1,256 @@
+"""The :class:`ReproSession` facade — one object to assemble a reproduction.
+
+A session owns the shared state a reproduction is built from (the simulated
+Internet, the IPv6 hitlist) and the caches that make composition cheap
+(datasets per :class:`~repro.api.sources.SourceSpec`, alias reports per
+composition).  Everything else goes through the registries:
+
+* ``session.dataset("censys")`` / ``session.dataset(spec)`` — collect (or
+  fetch from cache) one observation dataset,
+* ``session.report("union")`` — resolve a source composition into an
+  :class:`~repro.core.engine.AliasReport`,
+* ``session.run_plan(ScanPlan.spread(3))`` — run a multi-vantage scan plan
+  into one shared index,
+* ``session.run_experiment("table3")`` — build and render a registered
+  experiment,
+* ``session.longitudinal(...)`` — a churn campaign over a fresh network of
+  the same configuration.
+
+The old ``PaperScenario`` god-object survives as a thin attribute shim over
+this class (see :mod:`repro.experiments.scenario`).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, Iterator
+
+from repro.api.parallel import resolve_parallel
+from repro.api.plan import PlanResult, ScanPlan, run_scan_plan
+from repro.api.sources import (
+    DEFAULT_VANTAGE_ADDRESS,
+    DEFAULT_VANTAGE_NAME,
+    REPORT_SPECS,
+    SOURCES,
+    SourceSpec,
+    build_source,
+)
+from repro.core.engine import AliasReport
+from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions
+from repro.core.pipeline import run_alias_resolution
+from repro.longitudinal.campaign import LongitudinalCampaign, LongitudinalConfig
+from repro.simnet.network import SimulatedInternet, VantagePoint
+from repro.simnet.topology import TopologyConfig, generate_topology
+from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
+from repro.sources.records import Observation, ObservationDataset, iter_observations
+
+from repro.api.config import ScenarioConfig
+
+
+class ReproSession:
+    """Shared state, caches, and registry-driven composition."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig | None = None,
+        options: IdentifierOptions = DEFAULT_OPTIONS,
+    ) -> None:
+        self.config = config or ScenarioConfig()
+        self.options = options
+        self._network: SimulatedInternet | None = None
+        self._hitlist: list[str] | None = None
+        self._datasets: dict[SourceSpec, ObservationDataset] = {}
+        self._reports: dict[tuple[SourceSpec, str], AliasReport] = {}
+
+    # ------------------------------------------------------------------ #
+    # Shared measurement state
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> SimulatedInternet:
+        """The simulated Internet under measurement (built once)."""
+        if self._network is None:
+            self._network = generate_topology(self.topology_config())
+        return self._network
+
+    def topology_config(self) -> TopologyConfig:
+        """The topology configuration implied by the session config."""
+        return self.config.topology_config()
+
+    @property
+    def hitlist(self) -> list[str]:
+        """The IPv6 hitlist used by active IPv6 scans (built once)."""
+        if self._hitlist is None:
+            self._hitlist = build_ipv6_hitlist(self.network, self.hitlist_config())
+        return self._hitlist
+
+    def hitlist_config(self) -> HitlistConfig:
+        """The hitlist configuration implied by the session config."""
+        return HitlistConfig(
+            server_coverage=self.config.hitlist_server_coverage,
+            router_coverage=self.config.hitlist_router_coverage,
+            seed=self.config.seed,
+        )
+
+    @property
+    def active_vantage(self) -> VantagePoint:
+        """The default vantage point of single-vantage active sources."""
+        return VantagePoint(name=DEFAULT_VANTAGE_NAME, address=DEFAULT_VANTAGE_ADDRESS)
+
+    # ------------------------------------------------------------------ #
+    # Sources and datasets
+    # ------------------------------------------------------------------ #
+    def spec(self, source: str | SourceSpec) -> SourceSpec:
+        """Resolve a source name (or pass a spec through) to a spec."""
+        if isinstance(source, SourceSpec):
+            return source
+        return SOURCES.get(source)
+
+    def dataset(self, source: str | SourceSpec) -> ObservationDataset:
+        """The dataset of one source, built at most once per session."""
+        spec = self.spec(source)
+        dataset = self._datasets.get(spec)
+        if dataset is None:
+            dataset = self._datasets[spec] = build_source(self, spec)
+        return dataset
+
+    def observations(self, source: str | SourceSpec) -> Iterator[Observation]:
+        """Stream one source composition's observations.
+
+        String names use the *report* composition where one exists
+        (``"censys"`` streams the default-port view, as the paper's
+        analysis does), falling back to the named source's dataset.
+        """
+        return self._stream(self._report_spec(source))
+
+    def _stream(self, spec: SourceSpec) -> Iterator[Observation]:
+        """Stream a spec, chaining concat inputs instead of materialising.
+
+        A concat is pure sequencing — caching its list under the spec would
+        hold a second copy of every already-cached input dataset, which is
+        exactly the copy the single-pass engine's streaming design avoids.
+        Explicit ``dataset(concat_spec)`` calls (e.g. ``repro scan``, which
+        needs a length and a name to write a file) still materialise.
+        """
+        if spec.kind == "concat":
+            return iter_observations(*(self._stream(input_spec) for input_spec in spec.inputs))
+        return iter(self.dataset(spec))
+
+    def _report_spec(self, source: str | SourceSpec) -> SourceSpec:
+        if isinstance(source, SourceSpec):
+            return source
+        report_spec = REPORT_SPECS.get(source)
+        if report_spec is not None:
+            return report_spec
+        return SOURCES.get(source)
+
+    @staticmethod
+    def _default_name(spec: SourceSpec) -> str:
+        """The display name a bare spec resolves under.
+
+        Prefers the name the spec is registered under, so ``report(spec)``
+        and ``report(name)`` of the same composition share one cache entry
+        instead of re-resolving under a second cosmetic name.
+        """
+        for name, report_spec in REPORT_SPECS.items():
+            if report_spec == spec:
+                return name
+        for entry in SOURCES:
+            if entry.value == spec:
+                return entry.name
+        return spec.label or spec.kind
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def report(
+        self,
+        source: str | SourceSpec,
+        name: str | None = None,
+        workers: int = 1,
+    ) -> AliasReport:
+        """Alias-resolution report over one source composition (cached).
+
+        ``workers > 1`` builds the observation index across worker
+        processes (:mod:`repro.api.parallel`); the report is identical
+        either way, so the cache does not key on it.
+        """
+        spec = self._report_spec(source)
+        if name is None:
+            name = source if isinstance(source, str) else self._default_name(spec)
+        key = (spec, name)
+        if key not in self._reports:
+            observations = self._stream(spec)
+            if workers > 1:
+                self._reports[key] = resolve_parallel(
+                    list(observations), name=name, workers=workers, options=self.options
+                )
+            else:
+                self._reports[key] = run_alias_resolution(
+                    observations, name=name, options=self.options
+                )
+        return self._reports[key]
+
+    def run_plan(self, plan: ScanPlan | None = None) -> PlanResult:
+        """Run a multi-vantage scan plan into one shared observation index."""
+        return run_scan_plan(self, plan or ScanPlan.default())
+
+    # ------------------------------------------------------------------ #
+    # Experiments
+    # ------------------------------------------------------------------ #
+    def run_experiment(self, name: str) -> str:
+        """Build and render one registered experiment."""
+        from repro.api.experiments import get_experiment
+
+        return get_experiment(name).run(self)
+
+    def run_experiments(self, names: Iterable[str] | None = None) -> dict[str, str]:
+        """Render several experiments (all registered ones by default)."""
+        from repro.api.experiments import experiment_names, get_experiment
+
+        selected = list(names) if names is not None else experiment_names()
+        return {name: get_experiment(name).run(self) for name in selected}
+
+    def claims(self):
+        """Evaluate the paper's headline claims on this session."""
+        from repro.experiments.runner import headline_claims
+
+        return headline_claims(self)
+
+    # ------------------------------------------------------------------ #
+    # Longitudinal campaigns
+    # ------------------------------------------------------------------ #
+    def longitudinal(
+        self,
+        snapshots: int = 4,
+        churn_fraction: float = 0.02,
+        interval: float = 7 * 86400.0,
+        include_ipv6: bool = True,
+    ) -> LongitudinalCampaign:
+        """A longitudinal campaign over this session's configuration.
+
+        The campaign runs on a *fresh* network generated from the same
+        topology configuration: campaigns inject churn as they go, and
+        sharing the session's network instance would let that churn leak
+        into the cached single-snapshot datasets.
+        """
+        network = generate_topology(self.topology_config())
+        hitlist = (
+            build_ipv6_hitlist(network, self.hitlist_config()) if include_ipv6 else None
+        )
+        return LongitudinalCampaign(
+            network,
+            vantage=self.active_vantage,
+            hitlist=hitlist,
+            config=LongitudinalConfig(
+                snapshots=snapshots,
+                interval=interval,
+                churn_fraction=churn_fraction,
+                seed=self.config.seed,
+            ),
+        )
+
+
+@functools.lru_cache(maxsize=4)
+def repro_session(scale: float = 1.0, seed: int = 42) -> ReproSession:
+    """A cached session — the shared input of benchmarks and examples."""
+    return ReproSession(ScenarioConfig(scale=scale, seed=seed))

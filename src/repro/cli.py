@@ -2,17 +2,24 @@
 
 The CLI mirrors how the paper's artifacts would be used in practice:
 
-* ``repro scan`` — generate a simulated Internet and run the measurement
-  campaigns (active and Censys-like), writing observation datasets to disk.
-* ``repro resolve`` — run alias resolution and dual-stack inference over one
-  or more observation datasets and write the resulting alias sets plus a
-  markdown report.
-* ``repro experiments`` — regenerate the paper's tables and figures (or a
-  selected subset) and print them.
+* ``repro scan`` — generate a simulated Internet and run measurement
+  campaigns for any registered observation source, writing datasets to
+  disk (``--list-sources`` enumerates the source registry).
+* ``repro resolve`` — run alias resolution and dual-stack inference over
+  one or more observation datasets (``--workers`` shards the index build
+  across processes) and write alias sets plus a markdown report.
+* ``repro experiments`` — regenerate registered tables and figures
+  (``--list`` enumerates the experiment registry).
 * ``repro claims`` — evaluate the headline claims (the EXPERIMENTS.md table).
+* ``repro plan`` — run a multi-vantage scan plan into one shared index and
+  print per-vantage vs merged coverage.
 * ``repro longitudinal`` — run a multi-snapshot campaign over a churning
   simulated Internet, resolve it incrementally, and print per-snapshot
   stability tables.
+
+The subcommands are built on the session API (:mod:`repro.api`): sources
+and experiments resolve through registries, so registering a new source or
+experiment makes it available here without touching this module.
 
 Every data-generating subcommand takes ``--scale`` (default 1.0), the
 multiplier on the simulated Internet's device counts: 1.0 yields a few
@@ -29,12 +36,18 @@ from pathlib import Path
 
 from repro.analysis.report import alias_report_markdown
 from repro.analysis.stability import stability_markdown, stability_table
+from repro.api.experiments import all_experiments, get_experiment
+from repro.api.parallel import resolve_parallel
+from repro.api.plan import ScanPlan
+from repro.api.session import ReproSession
+from repro.api.sources import SOURCES
+from repro.api.config import ScenarioConfig
 from repro.core.pipeline import run_alias_resolution
+from repro.errors import RegistryError
 from repro.experiments import runner
-from repro.experiments.scenario import PaperScenario, ScenarioConfig
 from repro.io.datasets import load_observations, save_alias_sets, save_observations
 from repro.net.addresses import AddressFamily
-from repro.sources.records import ObservationDataset, iter_observations
+from repro.sources.records import iter_observations
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,19 +61,30 @@ def build_parser() -> argparse.ArgumentParser:
     scan = subparsers.add_parser("scan", help="simulate the Internet and run the measurement campaigns")
     scan.add_argument("--scale", type=float, default=1.0, help="topology scale factor (default 1.0)")
     scan.add_argument("--seed", type=int, default=42, help="scenario seed (default 42)")
-    scan.add_argument("--output", type=Path, required=True, help="directory for the observation datasets")
+    scan.add_argument("--output", type=Path, default=None, help="directory for the observation datasets")
     scan.add_argument(
         "--sources",
-        nargs="+",
-        choices=["active", "censys"],
+        nargs="*",
         default=["active", "censys"],
-        help="which data sources to collect",
+        metavar="SOURCE",
+        help="registered sources to collect (default: active censys; see --list-sources)",
+    )
+    scan.add_argument(
+        "--list-sources",
+        action="store_true",
+        help="list the registered observation sources and exit",
     )
 
     resolve = subparsers.add_parser("resolve", help="run alias resolution over observation datasets")
     resolve.add_argument("datasets", nargs="+", type=Path, help="observation JSONL files")
     resolve.add_argument("--output", type=Path, required=True, help="directory for alias sets and report")
     resolve.add_argument("--name", default="resolved", help="name of the combined dataset")
+    resolve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded index build (default 1 = serial)",
+    )
 
     experiments = subparsers.add_parser("experiments", help="regenerate the paper's tables and figures")
     experiments.add_argument("--scale", type=float, default=1.0)
@@ -69,12 +93,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         nargs="*",
         default=None,
+        metavar="NAME",
         help="subset of experiments, e.g. table3 figure5 (default: all)",
+    )
+    experiments.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered experiments and exit",
     )
 
     claims = subparsers.add_parser("claims", help="evaluate the paper's headline claims")
     claims.add_argument("--scale", type=float, default=1.0)
     claims.add_argument("--seed", type=int, default=42)
+
+    plan = subparsers.add_parser(
+        "plan",
+        help="run a multi-vantage scan plan into one shared observation index",
+    )
+    plan.add_argument("--scale", type=float, default=1.0)
+    plan.add_argument("--seed", type=int, default=42)
+    plan.add_argument(
+        "--vantages", type=int, default=2, help="number of vantage points (default 2)"
+    )
+    plan.add_argument(
+        "--ipv4-only", action="store_true", help="skip the IPv6 hitlist scans"
+    )
+    plan.add_argument(
+        "--output", type=Path, default=None, help="optional directory for coverage.md"
+    )
 
     longitudinal = subparsers.add_parser(
         "longitudinal",
@@ -106,34 +152,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _session(args: argparse.Namespace) -> ReproSession:
+    return ReproSession(ScenarioConfig(scale=args.scale, seed=args.seed))
+
+
 def _command_scan(args: argparse.Namespace) -> int:
-    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
+    if args.list_sources:
+        for entry in SOURCES:
+            print(f"{entry.name:16} {entry.description}")
+        return 0
+    if not args.sources:
+        print("no sources requested: pass --sources with at least one name "
+              "(see repro scan --list-sources)", file=sys.stderr)
+        return 2
+    if args.output is None:
+        print("scan requires --output (or --list-sources)", file=sys.stderr)
+        return 2
+    session = _session(args)
+    try:
+        specs = [(name, session.spec(name)) for name in args.sources]
+    except RegistryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     args.output.mkdir(parents=True, exist_ok=True)
-    written = []
-    if "active" in args.sources:
-        active = ObservationDataset(
-            "active", iter_observations(scenario.active_ipv4, scenario.active_ipv6)
-        )
-        path = args.output / "active.jsonl"
-        save_observations(active, path)
-        written.append((path, len(active)))
-    if "censys" in args.sources:
-        path = args.output / "censys.jsonl"
-        save_observations(scenario.censys_ipv4, path)
-        written.append((path, len(scenario.censys_ipv4)))
-    for path, count in written:
-        print(f"wrote {path} ({count} observations)")
+    for name, spec in specs:
+        dataset = session.dataset(spec)
+        path = args.output / f"{name}.jsonl"
+        save_observations(dataset, path)
+        print(f"wrote {path} ({len(dataset)} observations)")
     return 0
 
 
 def _command_resolve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     datasets = []
     for path in args.datasets:
         dataset = load_observations(path)
         datasets.append(dataset)
         print(f"loaded {path} ({len(dataset)} observations)")
-    # Feed the loaded datasets through the single-pass engine as one stream.
-    report = run_alias_resolution(iter_observations(*datasets), name=args.name)
+    # Feed the loaded datasets through the single-pass engine as one stream;
+    # with --workers > 1 the index is built across sharded worker processes.
+    if args.workers > 1:
+        report = resolve_parallel(
+            list(iter_observations(*datasets)), name=args.name, workers=args.workers
+        )
+    else:
+        report = run_alias_resolution(iter_observations(*datasets), name=args.name)
     args.output.mkdir(parents=True, exist_ok=True)
     save_alias_sets(report.ipv4_union, args.output / "ipv4_alias_sets.json")
     save_alias_sets(report.ipv6_union, args.output / "ipv6_alias_sets.json")
@@ -148,24 +214,30 @@ def _command_resolve(args: argparse.Namespace) -> int:
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
-    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
-    rendered = runner.run_all(scenario)
-    selected = args.only if args.only else list(rendered)
-    unknown = [name for name in selected if name not in rendered]
-    if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+    if args.list:
+        for registered in all_experiments():
+            print(f"{registered.name:12} {registered.description}")
+        return 0
+    session = _session(args)
+    try:
+        selected = [
+            get_experiment(name)
+            for name in (args.only if args.only else [e.name for e in all_experiments()])
+        ]
+    except RegistryError as error:
+        print(str(error), file=sys.stderr)
         return 2
-    for name in selected:
-        print(f"=== {name}")
-        print(rendered[name])
+    for registered in selected:
+        print(f"=== {registered.name}")
+        print(registered.run(session))
         print()
     return 0
 
 
 def _command_claims(args: argparse.Namespace) -> int:
-    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
+    session = _session(args)
     failed = 0
-    for claim in runner.headline_claims(scenario):
+    for claim in runner.headline_claims(session):
         status = "OK  " if claim.holds else "FAIL"
         print(f"[{status}] {claim.identifier}: {claim.description}")
         print(f"       paper: {claim.paper}")
@@ -175,9 +247,26 @@ def _command_claims(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _command_plan(args: argparse.Namespace) -> int:
+    if args.vantages < 1:
+        print("a scan plan needs at least one vantage point", file=sys.stderr)
+        return 2
+    session = _session(args)
+    result = session.run_plan(
+        ScanPlan.spread(args.vantages, include_ipv6=not args.ipv4_only)
+    )
+    print(result.coverage_markdown())
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+        path = args.output / "coverage.md"
+        path.write_text(result.coverage_markdown())
+        print(f"wrote {path}")
+    return 0
+
+
 def _command_longitudinal(args: argparse.Namespace) -> int:
-    scenario = PaperScenario(ScenarioConfig(scale=args.scale, seed=args.seed))
-    campaign = scenario.longitudinal_campaign(
+    session = _session(args)
+    campaign = session.longitudinal(
         snapshots=args.snapshots,
         churn_fraction=args.churn,
         interval=args.interval_days * 86400.0,
@@ -215,6 +304,7 @@ _COMMANDS = {
     "resolve": _command_resolve,
     "experiments": _command_experiments,
     "claims": _command_claims,
+    "plan": _command_plan,
     "longitudinal": _command_longitudinal,
 }
 

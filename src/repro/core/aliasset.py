@@ -174,8 +174,16 @@ class AliasSetCollection:
         return counter
 
     def top_asns(self, count: int = 10) -> list[tuple[int, int]]:
-        """The ``count`` ASes with the most sets, as (asn, set count) pairs."""
-        return self.sets_per_asn().most_common(count)
+        """The ``count`` ASes with the most sets, as (asn, set count) pairs.
+
+        Ties break by ascending ASN (as in the dual-stack collection)
+        rather than by counter insertion order: insertion order descends
+        from set-iteration order over address frozensets, which varies
+        with the interpreter's per-process string-hash salt — the one
+        spot where a report could differ between identical runs.
+        """
+        ranked = sorted(self.sets_per_asn().items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
 
     # ------------------------------------------------------------------ #
     # Merging helpers

@@ -14,7 +14,6 @@ from collections import defaultdict
 from typing import Iterable, Iterator
 
 from repro.core.alias_resolution import merge_overlapping
-from repro.core.aliasset import AliasSetCollection
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
 from repro.simnet.device import ServiceType
 from repro.net.addresses import AddressFamily

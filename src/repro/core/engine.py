@@ -221,6 +221,50 @@ class ObservationIndex:
         for observation in added:
             self.add(observation)
 
+    def merge(self, other: "ObservationIndex") -> "ObservationIndex":
+        """Fold ``other``'s contents into this index; returns ``self``.
+
+        The bucket structure makes this a plain dictionary merge: per-bucket
+        identifier maps union key-wise, and per-identifier address refcounts
+        add.  When the two indexes were built from *disjoint shards of one
+        observation stream partitioned by address* (the parallel build in
+        :mod:`repro.api.parallel`), every inner merge is disjoint and the
+        result is exactly the index a serial pass over the whole stream
+        would have built, up to identifier insertion order — which no
+        derived collection's :func:`report_signature` depends on.
+
+        ``other`` is not modified; merging an index into itself is refused
+        because the refcount addition would double every count in place.
+        """
+        if other is self:
+            raise DatasetError("cannot merge an ObservationIndex into itself")
+        if other._options != self._options:
+            raise DatasetError("cannot merge indexes built with different identifier options")
+        for bucket_key, other_members in other._members.items():
+            members = self._members.get(bucket_key)
+            if members is None:
+                members = self._members[bucket_key] = {}
+                self._asn[bucket_key] = {}
+                self._asn_refs[bucket_key] = {}
+                self._dirty[bucket_key] = set()
+            dirty = self._dirty[bucket_key]
+            for value, other_addresses in other_members.items():
+                addresses = members.get(value)
+                if addresses is None:
+                    members[value] = dict(other_addresses)
+                else:
+                    for address, count in other_addresses.items():
+                        addresses[address] = addresses.get(address, 0) + count
+                dirty.add(value)
+            asn = self._asn[bucket_key]
+            asn_refs = self._asn_refs[bucket_key]
+            asn.update(other._asn[bucket_key])
+            for address, count in other._asn_refs[bucket_key].items():
+                asn_refs[address] = asn_refs.get(address, 0) + count
+        self._observed += other._observed
+        self._indexed += other._indexed
+        return self
+
     # ------------------------------------------------------------------ #
     # Incremental-consumer accessors
     # ------------------------------------------------------------------ #

@@ -41,5 +41,13 @@ class DatasetError(ReproError):
     """A dataset file or record could not be read or written."""
 
 
+class RegistryError(ReproError, ValueError):
+    """A name could not be resolved against (or added to) a registry.
+
+    Also a :class:`ValueError`: an unknown name is an invalid argument
+    value, and callers of the pre-registry API caught exactly that.
+    """
+
+
 class ValidationError(ReproError):
     """Alias-set validation was given incomparable inputs."""

@@ -12,7 +12,8 @@ import dataclasses
 
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.tables import render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
 
 
@@ -50,10 +51,11 @@ def _curve(collection, label: str) -> EcdfCurve:
     return EcdfCurve(label=label, ecdf=Ecdf(collection.non_singleton().sizes()))
 
 
-def build(scenario: PaperScenario) -> Figure3Result:
+@experiment("figure3", description="Figure 3 — ECDF of IPv4 addresses per alias set")
+def build(session: ReproSession) -> Figure3Result:
     """Build the Figure 3 curves."""
-    active = scenario.report("active")
-    censys = scenario.report("censys")
+    active = session.report("active")
+    censys = session.report("censys")
     curves = {
         "Censys BGP": _curve(censys.ipv4[ServiceType.BGP], "Censys BGP"),
         "Active BGP": _curve(active.ipv4[ServiceType.BGP], "Active BGP"),

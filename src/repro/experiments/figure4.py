@@ -11,7 +11,8 @@ import dataclasses
 
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.tables import render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
 
 
@@ -26,9 +27,10 @@ class Figure4Result:
         return ecdf.median() if len(ecdf) else 0.0
 
 
-def build(scenario: PaperScenario) -> Figure4Result:
+@experiment("figure4", description="Figure 4 — ECDF of IPv6 addresses per alias set")
+def build(session: ReproSession) -> Figure4Result:
     """Build the Figure 4 curves from the active report."""
-    report = scenario.report("active")
+    report = session.report("active")
     curves = {
         "Active SSH": Ecdf(report.ipv6[ServiceType.SSH].non_singleton().sizes()),
         "Active BGP": Ecdf(report.ipv6[ServiceType.BGP].non_singleton().sizes()),

@@ -12,7 +12,8 @@ import dataclasses
 from repro.analysis.aslevel import multi_as_fraction
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.tables import render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
 
 
@@ -24,9 +25,10 @@ class Figure5Result:
     multi_as_fractions: dict[str, float]
 
 
-def build(scenario: PaperScenario) -> Figure5Result:
+@experiment("figure5", description="Figure 5 — ECDF of ASes per IPv4 alias set")
+def build(session: ReproSession) -> Figure5Result:
     """Build the Figure 5 curves from the union report."""
-    report = scenario.report("union")
+    report = session.report("union")
     curves = {}
     fractions = {}
     for protocol, label in ((ServiceType.SSH, "SSH"), (ServiceType.BGP, "BGP"), (ServiceType.SNMPV3, "SNMPv3")):

@@ -13,7 +13,8 @@ import dataclasses
 from repro.analysis.aslevel import sets_per_as_values
 from repro.analysis.ecdf import Ecdf
 from repro.analysis.tables import render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 
 
 @dataclasses.dataclass
@@ -27,9 +28,10 @@ class Figure6Result:
     fraction_ases_over_hundred: float
 
 
-def build(scenario: PaperScenario) -> Figure6Result:
+@experiment("figure6", description="Figure 6 — ECDF of alias / dual-stack sets per AS")
+def build(session: ReproSession) -> Figure6Result:
     """Build Figure 6 from the union report."""
-    report = scenario.report("union")
+    report = session.report("union")
     alias_values = sets_per_as_values(report.ipv4_union)
     dual_values = sets_per_as_values(report.dual_stack_union)
     alias_ecdf = Ecdf(alias_values)

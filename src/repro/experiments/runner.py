@@ -9,30 +9,14 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.experiments import figure3, figure4, figure5, figure6, table1, table2, table3, table4, table5, table6
-from repro.experiments.scenario import PaperScenario
+from repro.api.session import ReproSession
+from repro.experiments import figure3, figure5, table1, table2, table3, table4, table5, table6
 from repro.simnet.asn import AsRole
 
-_EXPERIMENTS = {
-    "table1": table1,
-    "table2": table2,
-    "table3": table3,
-    "table4": table4,
-    "table5": table5,
-    "table6": table6,
-    "figure3": figure3,
-    "figure4": figure4,
-    "figure5": figure5,
-    "figure6": figure6,
-}
 
-
-def run_all(scenario: PaperScenario) -> dict[str, str]:
-    """Build and render every table and figure; returns name -> text."""
-    rendered = {}
-    for name, module in _EXPERIMENTS.items():
-        rendered[name] = module.render(module.build(scenario))
-    return rendered
+def run_all(session: ReproSession) -> dict[str, str]:
+    """Build and render every registered experiment; returns name -> text."""
+    return session.run_experiments()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,7 +30,7 @@ class Claim:
     holds: bool
 
 
-def headline_claims(scenario: PaperScenario) -> list[Claim]:
+def headline_claims(scenario: ReproSession) -> list[Claim]:
     """Evaluate the paper's headline claims on the scenario."""
     claims: list[Claim] = []
 
@@ -183,7 +167,7 @@ def headline_claims(scenario: PaperScenario) -> list[Claim]:
     return claims
 
 
-def experiments_markdown(scenario: PaperScenario) -> str:
+def experiments_markdown(scenario: ReproSession) -> str:
     """Produce the EXPERIMENTS.md body: claims, then every rendered table."""
     lines = [
         "# EXPERIMENTS — paper vs reproduction",

@@ -1,202 +1,91 @@
-"""The shared evaluation scenario.
+"""Back-compat shim: ``PaperScenario`` over the session API.
 
-Building a :class:`PaperScenario` performs the reproduction's equivalent of
-the paper's data collection:
+The scenario used to be a god-object that hand-wired every dataset cache;
+it is now a thin attribute façade over :class:`repro.api.ReproSession`,
+which owns the shared network/hitlist state, resolves datasets through the
+source registry, and caches per source spec.  Existing callers keep their
+``scenario.active_ipv4``-style attributes; new code should use the session
+API directly::
 
-1. generate the simulated Internet (cloud providers, ISPs, enterprises),
-2. run the active measurement from a single vantage point — IPv4
-   Internet-wide for SSH/BGP/SNMPv3 and IPv6 over a hitlist,
-3. take a Censys-like snapshot (distributed vantage points, IPv4, SSH+BGP,
-   three weeks earlier), and
-4. run alias resolution and dual-stack inference over the active data, the
-   Censys data, and their union.
+    from repro.api import ReproSession, ScenarioConfig
 
-All of it is deterministic in the scenario config, and the result object is
-cached per config so the ten experiment drivers and the benchmark harness
-share one build.
+    session = ReproSession(ScenarioConfig(scale=1.0, seed=42))
+    session.dataset("active-ipv4")   # was: scenario.active_ipv4
+    session.report("union")          # unchanged
+    session.run_plan(...)            # no scenario equivalent
+
+``ScenarioConfig`` and ``CENSYS_SNAPSHOT_LEAD`` are re-exported from their
+new homes (:mod:`repro.api.config`, :mod:`repro.api.sources`).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import functools
 
-from repro.core.pipeline import AliasReport, run_alias_resolution
-from repro.longitudinal.campaign import LongitudinalCampaign, LongitudinalConfig
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.api.sources import CENSYS_SNAPSHOT_LEAD
+from repro.longitudinal.campaign import LongitudinalCampaign
 from repro.net.addresses import AddressFamily
-from repro.simnet.network import SimulatedInternet, VantagePoint
-from repro.simnet.topology import TopologyConfig, generate_topology
-from repro.sources.active import ActiveMeasurement
-from repro.sources.censys import CensysSource
-from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
-from repro.sources.merge import filter_standard_ports, merge_datasets
-from repro.sources.records import ObservationDataset, iter_observations
+from repro.sources.records import ObservationDataset
 
-#: Simulated duration between the Censys snapshot and the active scan
-#: (the paper pairs an April 18 active scan with a March 28 snapshot).
-CENSYS_SNAPSHOT_LEAD = 21 * 86400.0
+__all__ = ["CENSYS_SNAPSHOT_LEAD", "PaperScenario", "ScenarioConfig", "paper_scenario"]
 
 
-@dataclasses.dataclass(frozen=True)
-class ScenarioConfig:
-    """Configuration of the evaluation scenario.
+class PaperScenario(ReproSession):
+    """The shared evaluation scenario, as attribute-style sugar.
 
-    ``scale`` multiplies the device counts of the default paper topology;
-    1.0 gives a few tens of thousands of addresses, which reproduces every
-    distributional result at laptop scale.
+    Every property maps onto one session call (the session caches, so the
+    old "built at most once" behaviour is preserved):
+
+    ==========================  =====================================
+    Scenario attribute          Session call
+    ==========================  =====================================
+    ``active_ipv4``             ``dataset("active-ipv4")``
+    ``active_ipv6``             ``dataset("active-ipv6")``
+    ``censys_ipv4``             ``dataset("censys")``
+    ``censys_ipv6``             ``dataset("censys-ipv6")``
+    ``censys_ipv4_standard``    ``dataset("censys-standard")``
+    ``union_ipv4``              ``dataset("union-ipv4")``
+    ``observations_for(s)``     ``observations(s)``
+    ``longitudinal_campaign``   ``longitudinal``
+    ==========================  =====================================
     """
-
-    scale: float = 1.0
-    seed: int = 42
-    loss_rate: float = 0.01
-    hitlist_server_coverage: float = 0.8
-    hitlist_router_coverage: float = 0.4
-    censys_miss_rate: float = 0.12
-
-    def topology_config(self) -> TopologyConfig:
-        """The topology configuration implied by this scenario config."""
-        config = TopologyConfig(seed=self.seed, scale=self.scale)
-        config.loss_rate = self.loss_rate
-        return config
-
-
-class PaperScenario:
-    """Lazily-built container for everything the experiments need."""
-
-    def __init__(self, config: ScenarioConfig | None = None) -> None:
-        self.config = config or ScenarioConfig()
-        self._network: SimulatedInternet | None = None
-        self._active_ipv4: ObservationDataset | None = None
-        self._active_ipv6: ObservationDataset | None = None
-        self._censys_ipv4: ObservationDataset | None = None
-        self._censys_ipv6: ObservationDataset | None = None
-        self._censys_ipv4_standard: ObservationDataset | None = None
-        self._union_ipv4: ObservationDataset | None = None
-        self._hitlist: list[str] | None = None
-        self._reports: dict[str, AliasReport] = {}
-
-    # ------------------------------------------------------------------ #
-    # Data collection
-    # ------------------------------------------------------------------ #
-    @property
-    def network(self) -> SimulatedInternet:
-        """The simulated Internet under measurement."""
-        if self._network is None:
-            self._network = generate_topology(self.config.topology_config())
-        return self._network
-
-    @property
-    def hitlist(self) -> list[str]:
-        """The IPv6 hitlist used by the active IPv6 scan."""
-        if self._hitlist is None:
-            self._hitlist = build_ipv6_hitlist(
-                self.network,
-                HitlistConfig(
-                    server_coverage=self.config.hitlist_server_coverage,
-                    router_coverage=self.config.hitlist_router_coverage,
-                    seed=self.config.seed,
-                ),
-            )
-        return self._hitlist
-
-    @property
-    def active_vantage(self) -> VantagePoint:
-        """The single vantage point of the active measurement."""
-        return VantagePoint(name="active-de", address="192.0.2.250")
 
     @property
     def active_ipv4(self) -> ObservationDataset:
         """Active measurement, IPv4 Internet-wide scan."""
-        if self._active_ipv4 is None:
-            campaign = ActiveMeasurement(
-                self.network, vantage=self.active_vantage, seed=self.config.seed
-            )
-            self._active_ipv4 = campaign.run_ipv4(start_time=CENSYS_SNAPSHOT_LEAD)
-        return self._active_ipv4
+        return self.dataset("active-ipv4")
 
     @property
     def active_ipv6(self) -> ObservationDataset:
         """Active measurement, IPv6 hitlist scan."""
-        if self._active_ipv6 is None:
-            campaign = ActiveMeasurement(
-                self.network, vantage=self.active_vantage, seed=self.config.seed + 1
-            )
-            self._active_ipv6 = campaign.run_ipv6(
-                self.hitlist, start_time=CENSYS_SNAPSHOT_LEAD + 86400.0
-            )
-        return self._active_ipv6
+        return self.dataset("active-ipv6")
 
     @property
     def censys_ipv4(self) -> ObservationDataset:
         """Censys-like snapshot, IPv4 (SSH and BGP only)."""
-        if self._censys_ipv4 is None:
-            source = CensysSource(
-                self.network,
-                miss_rate=self.config.censys_miss_rate,
-                snapshot_time=0.0,
-                seed=self.config.seed + 2,
-            )
-            self._censys_ipv4 = source.snapshot_ipv4()
-        return self._censys_ipv4
+        return self.dataset("censys")
 
     @property
     def censys_ipv6(self) -> ObservationDataset:
         """Censys-like snapshot, IPv6 (negligible, non-standard ports)."""
-        if self._censys_ipv6 is None:
-            source = CensysSource(self.network, snapshot_time=0.0, seed=self.config.seed + 3)
-            self._censys_ipv6 = source.snapshot_ipv6()
-        return self._censys_ipv6
-
-    @property
-    def union_ipv4(self) -> ObservationDataset:
-        """Union of the active and Censys IPv4 datasets (default-port only).
-
-        Cached like the raw datasets: several experiment drivers and the
-        CLI touch the union repeatedly, and re-running ``merge_datasets``
-        over both full datasets on every access is pure waste.
-        """
-        if self._union_ipv4 is None:
-            self._union_ipv4 = merge_datasets(self.active_ipv4, self.censys_ipv4, name="union")
-        return self._union_ipv4
+        return self.dataset("censys-ipv6")
 
     @property
     def censys_ipv4_standard(self) -> ObservationDataset:
         """Censys IPv4 data restricted to default ports (paper methodology)."""
-        if self._censys_ipv4_standard is None:
-            self._censys_ipv4_standard = filter_standard_ports(self.censys_ipv4)
-        return self._censys_ipv4_standard
+        return self.dataset("censys-standard")
 
-    # ------------------------------------------------------------------ #
-    # Alias resolution reports
-    # ------------------------------------------------------------------ #
+    @property
+    def union_ipv4(self) -> ObservationDataset:
+        """Union of the active and Censys IPv4 datasets (default-port only)."""
+        return self.dataset("union-ipv4")
+
     def observations_for(self, source: str):
-        """The observation stream behind ``source``: active, censys, or union.
+        """The observation stream behind ``source``: active, censys, or union."""
+        return self.observations(source)
 
-        Streamed, not list-concatenated: the single-pass engine consumes each
-        observation exactly once.  The IPv6 observations always come from the
-        active measurement (the Censys IPv6 snapshot is excluded, as in the
-        paper).  Shared by :meth:`report`, the parity tests and the pipeline
-        benchmark so all three resolve the same dataset composition.
-        """
-        if source == "active":
-            return iter_observations(self.active_ipv4, self.active_ipv6)
-        if source == "censys":
-            return iter_observations(self.censys_ipv4_standard)
-        if source == "union":
-            return iter_observations(self.union_ipv4, self.active_ipv6)
-        raise ValueError(f"unknown source {source!r}")
-
-    def report(self, source: str) -> AliasReport:
-        """Alias-resolution report for ``source``: active, censys, or union."""
-        if source not in self._reports:
-            self._reports[source] = run_alias_resolution(
-                self.observations_for(source), name=source
-            )
-        return self._reports[source]
-
-    # ------------------------------------------------------------------ #
-    # Longitudinal campaigns
-    # ------------------------------------------------------------------ #
     def longitudinal_campaign(
         self,
         snapshots: int = 4,
@@ -204,41 +93,14 @@ class PaperScenario:
         interval: float = 7 * 86400.0,
         include_ipv6: bool = True,
     ) -> LongitudinalCampaign:
-        """A longitudinal campaign over this scenario's simulated Internet.
-
-        The campaign runs on a *fresh* network generated from the same
-        topology configuration: campaigns inject churn events as they go,
-        and sharing the scenario's network instance would let that churn
-        leak into the cached single-snapshot datasets.
-        """
-        network = generate_topology(self.config.topology_config())
-        hitlist = (
-            build_ipv6_hitlist(
-                network,
-                HitlistConfig(
-                    server_coverage=self.config.hitlist_server_coverage,
-                    router_coverage=self.config.hitlist_router_coverage,
-                    seed=self.config.seed,
-                ),
-            )
-            if include_ipv6
-            else None
-        )
-        return LongitudinalCampaign(
-            network,
-            vantage=self.active_vantage,
-            hitlist=hitlist,
-            config=LongitudinalConfig(
-                snapshots=snapshots,
-                interval=interval,
-                churn_fraction=churn_fraction,
-                seed=self.config.seed,
-            ),
+        """A longitudinal campaign over this scenario's configuration."""
+        return self.longitudinal(
+            snapshots=snapshots,
+            churn_fraction=churn_fraction,
+            interval=interval,
+            include_ipv6=include_ipv6,
         )
 
-    # ------------------------------------------------------------------ #
-    # Convenience accessors
-    # ------------------------------------------------------------------ #
     def dataset_for(self, source: str, family: AddressFamily) -> ObservationDataset:
         """The observation dataset for a (source, family) pair."""
         if family is AddressFamily.IPV6:

@@ -12,7 +12,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import format_count, render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.net.addresses import AddressFamily
 from repro.simnet.device import ServiceType
 from repro.sources.records import ObservationDataset
@@ -79,10 +80,11 @@ def _union_counts(datasets: list[ObservationDataset], protocol: ServiceType, fam
     return len(addresses), len(asns)
 
 
-def build(scenario: PaperScenario) -> Table1Result:
+@experiment("table1", description="Table 1 — service scanning dataset overview")
+def build(session: ReproSession) -> Table1Result:
     """Build Table 1 from the scenario's datasets."""
     rows: list[Table1Row] = []
-    active4, censys4 = scenario.active_ipv4, scenario.censys_ipv4
+    active4, censys4 = session.dataset("active-ipv4"), session.dataset("censys")
     for protocol in (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3):
         active_ips, active_asns = _counted(active4, protocol, AddressFamily.IPV4)
         if protocol is ServiceType.SNMPV3:
@@ -102,7 +104,7 @@ def build(scenario: PaperScenario) -> Table1Result:
                 union_asns=union_asns if union_asns is not None else active_asns,
             )
         )
-    active6 = scenario.active_ipv6
+    active6 = session.dataset("active-ipv6")
     for protocol in (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3):
         active_ips, active_asns = _counted(active6, protocol, AddressFamily.IPV6)
         rows.append(

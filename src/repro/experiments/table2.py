@@ -16,8 +16,8 @@ import random
 from repro.analysis.tables import format_count, render_table
 from repro.baselines.midar import MidarProber
 from repro.core.validation import cross_validate
-from repro.experiments.scenario import PaperScenario
-from repro.net.addresses import AddressFamily
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
 from repro.simnet.network import VantagePoint
 
@@ -58,13 +58,14 @@ class Table2Result:
         raise KeyError(f"no validation row {pair}")
 
 
+@experiment("table2", description="Table 2 — alias set validation (cross-protocol and MIDAR)")
 def build(
-    scenario: PaperScenario,
+    session: ReproSession,
     midar_sample_size: int = 150,
     midar_seed: int = 7,
 ) -> Table2Result:
     """Build Table 2 from the scenario's active-measurement report."""
-    report = scenario.report("active")
+    report = session.report("active")
     ssh = report.ipv4[ServiceType.SSH]
     bgp = report.ipv4[ServiceType.BGP]
     snmp = report.ipv4[ServiceType.SNMPV3]
@@ -88,10 +89,10 @@ def build(
         if len(alias_set.addresses) <= 10
     ]
     sample = rng.sample(candidates, min(midar_sample_size, len(candidates)))
-    prober = MidarProber(scenario.network, VantagePoint(name="midar-vp", address="192.0.2.251"))
+    prober = MidarProber(session.network, VantagePoint(name="midar-vp", address="192.0.2.251"))
     # A MIDAR run takes weeks; start it right after the active campaign and
     # let the per-set probing times accumulate.
-    ipv6_times = [observation.timestamp for observation in scenario.active_ipv6]
+    ipv6_times = [observation.timestamp for observation in session.dataset("active-ipv6")]
     midar_start = max(ipv6_times) + 3600.0 if ipv6_times else 0.0
     verdicts = prober.verify_sets(sample, start_time=midar_start)
     testable = [verdict for verdict in verdicts if verdict.testable]

@@ -13,8 +13,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import format_count, render_table
-from repro.experiments.scenario import PaperScenario
-from repro.net.addresses import AddressFamily
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
 
 _LABELS = {ServiceType.SSH: "SSH", ServiceType.BGP: "BGP", ServiceType.SNMPV3: "SNMPv3"}
@@ -46,10 +46,11 @@ class Table3Result:
         raise KeyError(f"no row {family}/{protocol}/{source}")
 
 
-def build(scenario: PaperScenario) -> Table3Result:
+@experiment("table3", description="Table 3 — alias sets overview")
+def build(session: ReproSession) -> Table3Result:
     """Build Table 3 from the per-source alias reports."""
     rows: list[Table3Row] = []
-    reports = {source: scenario.report(source) for source in ("active", "censys", "union")}
+    reports = {source: session.report(source) for source in ("active", "censys", "union")}
 
     for protocol in (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3):
         for source in ("active", "censys", "union"):

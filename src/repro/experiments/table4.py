@@ -13,7 +13,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import format_count, render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
 
 _LABELS = {ServiceType.SSH: "SSH", ServiceType.BGP: "BGP", ServiceType.SNMPV3: "SNMPv3"}
@@ -45,9 +46,10 @@ class Table4Result:
         raise KeyError(f"no dual-stack row {technique}")
 
 
-def build(scenario: PaperScenario) -> Table4Result:
+@experiment("table4", description="Table 4 — dual-stack sets")
+def build(session: ReproSession) -> Table4Result:
     """Build Table 4 from the union report."""
-    report = scenario.report("union")
+    report = session.report("union")
     rows = []
     for protocol in (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3):
         collection = report.dual_stack[protocol]

@@ -12,7 +12,8 @@ import dataclasses
 
 from repro.analysis.aslevel import TopAsEntry, role_split, top_as_table
 from repro.analysis.tables import format_count, render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.asn import AsRole
 from repro.simnet.device import ServiceType
 
@@ -35,10 +36,11 @@ class Table5Result:
         return sum(1 for entry in entries if entry.role is AsRole.CLOUD) / len(entries)
 
 
-def build(scenario: PaperScenario, count: int = 10) -> Table5Result:
+@experiment("table5", description="Table 5 — top 10 ASes for IPv4 alias sets")
+def build(session: ReproSession, count: int = 10) -> Table5Result:
     """Build Table 5 from the union report's IPv4 collections."""
-    report = scenario.report("union")
-    registry = scenario.network.registry
+    report = session.report("union")
+    registry = session.network.registry
     columns: dict[str, list[TopAsEntry]] = {}
     for protocol in (ServiceType.SSH, ServiceType.BGP, ServiceType.SNMPV3):
         columns[_LABELS[protocol]] = top_as_table(report.ipv4[protocol], registry, count=count)

@@ -13,7 +13,8 @@ import dataclasses
 
 from repro.analysis.aslevel import TopAsEntry, role_split, top_as_table
 from repro.analysis.tables import format_count, render_table
-from repro.experiments.scenario import PaperScenario
+from repro.api.experiments import experiment
+from repro.api.session import ReproSession
 from repro.simnet.asn import AsRole
 
 
@@ -31,10 +32,11 @@ class Table6Result:
         return dict(role_split(entries))
 
 
-def build(scenario: PaperScenario, count: int = 10) -> Table6Result:
+@experiment("table6", description="Table 6 — top 10 ASes for IPv6 / dual-stack sets")
+def build(session: ReproSession, count: int = 10) -> Table6Result:
     """Build Table 6 from the union report."""
-    report = scenario.report("union")
-    registry = scenario.network.registry
+    report = session.report("union")
+    registry = session.network.registry
     ipv6_entries = top_as_table(report.ipv6_union, registry, count=count)
     dual_entries = top_as_table(report.dual_stack_union, registry, count=count)
     total = len(report.dual_stack_union)

@@ -14,9 +14,7 @@ from __future__ import annotations
 import dataclasses
 import random
 
-from repro.protocols.bgp.speaker import BgpSpeakerConfig
 from repro.protocols.ssh.hostkey import Ed25519HostKey
-from repro.protocols.ssh.server import SshServerConfig
 from repro.simnet.device import Device, ServiceType
 
 

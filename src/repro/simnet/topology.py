@@ -149,13 +149,18 @@ _ROUTER_VENDORS: list[tuple[str, int, int, tuple[Capability, ...]]] = [
 # --------------------------------------------------------------------------- #
 # Configuration
 # --------------------------------------------------------------------------- #
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class TopologyConfig:
     """Knobs controlling the generated Internet.
 
     ``scale`` multiplies every device count; tests use a small scale, the
     paper scenario uses 1.0 (or larger when more statistical weight is
     needed).
+
+    Frozen: a config is shared between the scenario cache key, the
+    topology builder and longitudinal campaigns, so every variation must
+    go through the constructor or :func:`dataclasses.replace` instead of
+    post-construction mutation.
     """
 
     seed: int = 42
@@ -615,9 +620,14 @@ def generate_topology(config: TopologyConfig | None = None) -> SimulatedInternet
     return _TopologyBuilder(config or TopologyConfig()).build()
 
 
-def small_topology_config(seed: int = 7) -> TopologyConfig:
-    """A small configuration for unit tests and quick examples."""
-    return TopologyConfig(
+def small_topology_config(seed: int = 7, **overrides) -> TopologyConfig:
+    """A small configuration for unit tests and quick examples.
+
+    ``overrides`` are extra :class:`TopologyConfig` constructor fields
+    (e.g. ``loss_rate=0.0``) — the config is frozen, so variations are
+    declared here rather than assigned afterwards.
+    """
+    fields = dict(
         seed=seed,
         scale=1.0,
         n_cloud_ases=3,
@@ -628,3 +638,5 @@ def small_topology_config(seed: int = 7) -> TopologyConfig:
         n_enterprise_ases=6,
         shared_ssh_key_groups=2,
     )
+    fields.update(overrides)
+    return TopologyConfig(**fields)

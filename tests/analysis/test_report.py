@@ -11,8 +11,7 @@ from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
 
 @pytest.fixture(scope="module")
 def network():
-    config = small_topology_config(seed=77)
-    config.loss_rate = 0.0
+    config = small_topology_config(seed=77, loss_rate=0.0)
     return generate_topology(config)
 
 

@@ -10,8 +10,7 @@ from repro.simnet.topology import generate_topology, small_topology_config
 
 @pytest.fixture(scope="module")
 def result():
-    config = small_topology_config(seed=11)
-    config.loss_rate = 0.0
+    config = small_topology_config(seed=11, loss_rate=0.0)
     campaign = LongitudinalCampaign(
         generate_topology(config),
         config=LongitudinalConfig(snapshots=3, churn_fraction=0.08, seed=2),

@@ -1,0 +1,15 @@
+"""Shared fixtures for the session-API tests.
+
+One reduced-scale session per package: the API tests exercise composition,
+caching and parity — none of which depend on topology size — so they share
+a single cheap build.
+"""
+
+import pytest
+
+from repro.api import ReproSession, ScenarioConfig
+
+
+@pytest.fixture(scope="package")
+def session():
+    return ReproSession(ScenarioConfig(scale=0.1, seed=7))

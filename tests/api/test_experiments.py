@@ -1,0 +1,74 @@
+"""Tests for the experiment registry and the ``@experiment`` decorator."""
+
+import pytest
+
+from repro.api.experiments import (
+    EXPERIMENTS,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+)
+from repro.errors import RegistryError
+from repro.experiments import table3
+
+EXPECTED = [
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "figure3", "figure4", "figure5", "figure6",
+]
+
+
+# Module-level render: the decorator resolves it from the build function's
+# module, completing the uniform build/render protocol.
+def render(result):
+    return f"rendered {result}"
+
+
+class TestBuiltinRegistrations:
+    def test_all_ten_drivers_registered_in_order(self):
+        names = experiment_names()
+        assert [name for name in names if name in EXPECTED] == EXPECTED
+
+    def test_descriptions_present(self):
+        for registered in all_experiments():
+            if registered.name in EXPECTED:
+                assert registered.description
+
+    def test_registered_run_equals_direct_build_render(self, session):
+        registered = get_experiment("table3")
+        assert registered.run(session) == table3.render(table3.build(session))
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(RegistryError, match="unknown experiment 'table99'"):
+            get_experiment("table99")
+
+
+class TestCustomExperiments:
+    def test_decorator_registers_with_module_render(self):
+        @experiment("custom-decorated", description="a decorated experiment")
+        def build(session):
+            return "payload"
+
+        try:
+            registered = get_experiment("custom-decorated")
+            assert registered.run(object()) == "rendered payload"
+            assert registered.description == "a decorated experiment"
+        finally:
+            EXPERIMENTS._entries.pop("custom-decorated")
+
+    def test_register_experiment_with_explicit_render(self):
+        register_experiment(
+            "custom-explicit",
+            build=lambda session: 21,
+            render=lambda result: str(2 * result),
+            description="doubles",
+        )
+        try:
+            assert get_experiment("custom-explicit").run(object()) == "42"
+        finally:
+            EXPERIMENTS._entries.pop("custom-explicit")
+
+    def test_duplicate_name_refused(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_experiment("table3", build=lambda s: None, render=str)

@@ -1,0 +1,118 @@
+"""Tests for the sharded parallel index build."""
+
+import pytest
+
+from repro.api.parallel import (
+    build_index_parallel,
+    resolve_parallel,
+    shard_observations,
+    shard_of,
+)
+from repro.core.engine import ObservationIndex, report_signature
+from repro.core.identifiers import IdentifierOptions
+from repro.core.pipeline import run_alias_resolution
+from repro.errors import DatasetError
+from repro.sources.records import Observation
+from repro.simnet.device import ServiceType
+
+
+@pytest.fixture(scope="module")
+def observations(session):
+    return list(session.observations("union"))
+
+
+class TestSharding:
+    def test_sharding_partitions_every_observation(self, observations):
+        shards = shard_observations(observations, 4)
+        assert sum(len(shard) for shard in shards) == len(observations)
+
+    def test_addresses_never_split_across_shards(self, observations):
+        shards = shard_observations(observations, 4)
+        seen: dict[str, int] = {}
+        for number, shard in enumerate(shards):
+            for observation in shard:
+                assert seen.setdefault(observation.address, number) == number
+
+    def test_shard_assignment_is_deterministic(self):
+        assert shard_of("192.0.2.1", 7) == shard_of("192.0.2.1", 7)
+
+    def test_invalid_shard_count_rejected(self, observations):
+        with pytest.raises(ValueError):
+            shard_observations(observations, 0)
+
+
+class TestParallelBuild:
+    def test_parallel_index_matches_serial(self, observations):
+        serial = ObservationIndex.build(observations)
+        for workers in (2, 3):
+            parallel = build_index_parallel(observations, workers=workers)
+            assert parallel.state_signature() == serial.state_signature()
+
+    def test_parallel_report_matches_serial(self, observations):
+        serial = run_alias_resolution(list(observations), name="union")
+        parallel = resolve_parallel(observations, name="union", workers=2)
+        assert report_signature(parallel) == report_signature(serial)
+
+    def test_single_worker_falls_back_to_serial(self, observations):
+        index = build_index_parallel(observations, workers=1)
+        assert index.state_signature() == ObservationIndex.build(observations).state_signature()
+
+    def test_invalid_worker_count_rejected(self, observations):
+        with pytest.raises(ValueError):
+            build_index_parallel(observations, workers=0)
+
+
+def _observation(address: str, fingerprint: str = "f") -> Observation:
+    return Observation(
+        address=address,
+        protocol=ServiceType.SSH,
+        source="test",
+        port=22,
+        asn=64500,
+        fields=(
+            ("capability_signature", "caps"),
+            ("host_key_fingerprint", fingerprint),
+        ),
+    )
+
+
+class TestIndexMerge:
+    def test_merge_adds_refcounts(self):
+        left = ObservationIndex()
+        right = ObservationIndex()
+        left.add(_observation("192.0.2.1"))
+        right.add(_observation("192.0.2.1"))
+        right.add(_observation("192.0.2.2"))
+        merged = left.merge(right)
+        assert merged is left
+        serial = ObservationIndex()
+        for address in ("192.0.2.1", "192.0.2.1", "192.0.2.2"):
+            serial.add(_observation(address))
+        assert merged.state_signature() == serial.state_signature()
+
+    def test_merge_into_itself_refused(self):
+        index = ObservationIndex()
+        index.add(_observation("192.0.2.1"))
+        with pytest.raises(DatasetError):
+            index.merge(index)
+
+    def test_merge_requires_matching_options(self):
+        left = ObservationIndex()
+        right = ObservationIndex(IdentifierOptions(ssh_include_banner=False))
+        with pytest.raises(DatasetError):
+            left.merge(right)
+
+    def test_merged_removal_still_exact(self):
+        # A merged index keeps the refcount invariants: removing one of two
+        # identical observations keeps the address, removing both drops it.
+        left = ObservationIndex()
+        right = ObservationIndex()
+        left.add(_observation("192.0.2.1"))
+        right.add(_observation("192.0.2.1"))
+        left.merge(right)
+        left.remove(_observation("192.0.2.1"))
+        members = left.bucket_members(ServiceType.SSH, _observation("192.0.2.1").family)
+        assert any("192.0.2.1" in addresses for addresses in members.values())
+        left.remove(_observation("192.0.2.1"))
+        members = left.bucket_members(ServiceType.SSH, _observation("192.0.2.1").family)
+        assert all("192.0.2.1" not in addresses for addresses in members.values())

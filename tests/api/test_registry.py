@@ -1,0 +1,65 @@
+"""Tests for the generic registry primitive."""
+
+import pytest
+
+from repro.api.registry import Registry
+from repro.errors import RegistryError, ReproError
+
+
+class TestRegistry:
+    def test_add_and_get_roundtrip(self):
+        registry = Registry("widget")
+        registry.add("one", 1, description="the first")
+        assert registry.get("one") == 1
+        assert registry.entry("one").description == "the first"
+
+    def test_names_preserve_registration_order(self):
+        registry = Registry("widget")
+        for name in ("zulu", "alpha", "mike"):
+            registry.add(name, name.upper())
+        assert registry.names() == ["zulu", "alpha", "mike"]
+        assert [entry.name for entry in registry] == ["zulu", "alpha", "mike"]
+
+    def test_unknown_name_lists_known_names(self):
+        registry = Registry("widget")
+        registry.add("known", 1)
+        with pytest.raises(RegistryError, match="unknown widget 'missing'.*known"):
+            registry.get("missing")
+
+    def test_unknown_name_is_a_value_error(self):
+        # Pre-registry callers caught ValueError for unknown sources; the
+        # registry keeps that contract.
+        registry = Registry("widget")
+        with pytest.raises(ValueError):
+            registry.get("missing")
+        with pytest.raises(ReproError):
+            registry.get("missing")
+
+    def test_duplicate_registration_refused(self):
+        registry = Registry("widget")
+        registry.add("name", 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.add("name", 2)
+        assert registry.get("name") == 1
+
+    def test_replace_overrides(self):
+        registry = Registry("widget")
+        registry.add("name", 1)
+        registry.add("name", 2, replace=True)
+        assert registry.get("name") == 2
+
+    def test_empty_name_refused(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError):
+            registry.add("", 1)
+
+    def test_decorator_form(self):
+        registry = Registry("handler")
+
+        @registry.register("double", description="doubles its input")
+        def double(value):
+            return 2 * value
+
+        assert registry.get("double") is double
+        assert "double" in registry
+        assert len(registry) == 1

@@ -1,0 +1,78 @@
+"""Tests for the :class:`ReproSession` facade and scenario-shim parity."""
+
+import pytest
+
+from repro.api import ReproSession, ScanPlan, ScenarioConfig, repro_session
+from repro.core.engine import report_signature
+from repro.experiments.scenario import PaperScenario, paper_scenario
+
+
+class TestSessionState:
+    def test_network_and_hitlist_built_once(self, session):
+        assert session.network is session.network
+        assert session.hitlist is session.hitlist
+
+    def test_reports_cached(self, session):
+        assert session.report("active") is session.report("active")
+
+    def test_report_cache_shared_between_name_and_spec(self, session):
+        # The same composition must not re-resolve under a cosmetic name.
+        from repro.api.sources import CENSYS_STANDARD
+
+        assert session.report("censys") is session.report(CENSYS_STANDARD)
+
+    def test_report_names_match_source_labels(self, session):
+        for source in ("active", "censys", "union"):
+            assert session.report(source).name == source
+
+    def test_topology_config_carries_loss_rate(self):
+        config = ScenarioConfig(scale=0.1, seed=7, loss_rate=0.2)
+        topology = config.topology_config()
+        assert topology.loss_rate == 0.2
+
+    def test_topology_config_is_immutable(self):
+        topology = ScenarioConfig(scale=0.1).topology_config()
+        with pytest.raises(AttributeError):
+            topology.loss_rate = 0.5
+
+    def test_repro_session_cache(self):
+        assert repro_session(scale=0.05, seed=3) is repro_session(scale=0.05, seed=3)
+
+
+class TestScenarioShimParity:
+    """The back-compat shim must be the session API, attribute-spelled."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        config = ScenarioConfig(scale=0.1, seed=7)
+        return ReproSession(config), PaperScenario(config)
+
+    def test_datasets_identical(self, pair):
+        session, scenario = pair
+        assert list(session.dataset("active-ipv4")) == list(scenario.active_ipv4)
+        assert list(session.dataset("censys")) == list(scenario.censys_ipv4)
+        assert list(session.dataset("union-ipv4")) == list(scenario.union_ipv4)
+        assert list(session.dataset("censys-standard")) == list(scenario.censys_ipv4_standard)
+
+    def test_reports_identical(self, pair):
+        session, scenario = pair
+        for source in ("active", "censys", "union"):
+            assert report_signature(session.report(source)) == report_signature(
+                scenario.report(source)
+            )
+
+    def test_observation_streams_identical(self, pair):
+        session, scenario = pair
+        for source in ("active", "censys", "union"):
+            assert list(session.observations(source)) == list(scenario.observations_for(source))
+
+    def test_default_plan_reproduces_active_report(self, session):
+        result = session.run_plan(ScanPlan.default())
+        assert report_signature(result.report) == report_signature(session.report("active"))
+
+    def test_experiments_run_on_plain_session(self, session):
+        text = session.run_experiment("table3")
+        assert text.startswith("Table 3")
+
+    def test_paper_scenario_cache(self):
+        assert paper_scenario(scale=0.05, seed=3) is paper_scenario(scale=0.05, seed=3)

@@ -1,6 +1,5 @@
 """Tests for the MIDAR pipeline, Ally, and Speedtrap on controlled devices."""
 
-import pytest
 
 from repro.baselines.ally import AllyProber
 from repro.baselines.ipid import TargetClass

@@ -13,11 +13,13 @@ from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
 
 @pytest.fixture(scope="module")
 def network():
-    config = small_topology_config(seed=47)
-    config.loss_rate = 0.0
-    config.cloud_rate_limited_fraction = 0.0
-    config.isp_rate_limited_fraction = 0.0
-    config.churn_fraction = 0.0
+    config = small_topology_config(
+        seed=47,
+        loss_rate=0.0,
+        cloud_rate_limited_fraction=0.0,
+        isp_rate_limited_fraction=0.0,
+        churn_fraction=0.0,
+    )
     return generate_topology(config)
 
 

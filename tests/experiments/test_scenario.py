@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.scenario import PaperScenario, ScenarioConfig, paper_scenario
+from repro.experiments.scenario import paper_scenario
 from repro.net.addresses import AddressFamily
 from repro.simnet.device import ServiceType
 

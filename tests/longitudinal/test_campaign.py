@@ -12,11 +12,13 @@ from repro.simnet.topology import generate_topology, small_topology_config
 
 def quiet_network(seed=31):
     """A small network without loss, rate limiting, or built-in churn."""
-    config = small_topology_config(seed=seed)
-    config.loss_rate = 0.0
-    config.cloud_rate_limited_fraction = 0.0
-    config.isp_rate_limited_fraction = 0.0
-    config.churn_fraction = 0.0
+    config = small_topology_config(
+        seed=seed,
+        loss_rate=0.0,
+        cloud_rate_limited_fraction=0.0,
+        isp_rate_limited_fraction=0.0,
+        churn_fraction=0.0,
+    )
     return generate_topology(config)
 
 

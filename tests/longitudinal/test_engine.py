@@ -6,7 +6,6 @@ from repro.core.engine import ResolutionEngine, report_signature
 from repro.errors import DatasetError
 from repro.longitudinal.delta import diff_observations
 from repro.longitudinal.engine import LongitudinalEngine
-from repro.net.addresses import AddressFamily
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
 

@@ -8,7 +8,7 @@ from repro.scanner.campaign import ScanCampaign
 from repro.scanner.zgrab import ZgrabScanner
 from repro.scanner.zmap import ZmapScanner
 from repro.simnet.device import ServiceType
-from repro.simnet.network import ProbeOutcome, VantagePoint
+from repro.simnet.network import VantagePoint
 from repro.simnet.topology import generate_topology, small_topology_config
 
 VP = VantagePoint(name="scan-vp")
@@ -16,12 +16,14 @@ VP = VantagePoint(name="scan-vp")
 
 @pytest.fixture(scope="module")
 def network():
-    config = small_topology_config(seed=23)
-    config.loss_rate = 0.0
     # Rate limiting is exercised in dedicated tests; exact-coverage assertions
     # here need every probe to reach its target.
-    config.cloud_rate_limited_fraction = 0.0
-    config.isp_rate_limited_fraction = 0.0
+    config = small_topology_config(
+        seed=23,
+        loss_rate=0.0,
+        cloud_rate_limited_fraction=0.0,
+        isp_rate_limited_fraction=0.0,
+    )
     return generate_topology(config)
 
 

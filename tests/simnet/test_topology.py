@@ -4,7 +4,7 @@ import pytest
 
 from repro.net.addresses import AddressFamily
 from repro.simnet.asn import AsRole
-from repro.simnet.device import DeviceRole, ServiceType
+from repro.simnet.device import DeviceRole
 from repro.simnet.topology import TopologyConfig, generate_topology, small_topology_config
 
 
@@ -101,9 +101,7 @@ class TestServiceMix:
 class TestScaling:
     def test_scale_multiplies_device_counts(self):
         small = generate_topology(small_topology_config(seed=3))
-        config = small_topology_config(seed=3)
-        config.scale = 2.0
-        large = generate_topology(config)
+        large = generate_topology(small_topology_config(seed=3, scale=2.0))
         assert len(large.devices()) > 1.5 * len(small.devices())
 
     def test_scaled_helper_minimum_one(self):

@@ -7,7 +7,7 @@ from repro.protocols.bgp.capabilities import Capability
 from repro.protocols.snmp.client import SnmpScanRecord
 from repro.protocols.ssh.client import SshScanRecord
 from repro.simnet.device import ServiceType
-from repro.sources.records import Observation, ObservationDataset, observation_from_record
+from repro.sources.records import ObservationDataset, observation_from_record
 
 
 def ssh_record(address="10.0.0.1"):

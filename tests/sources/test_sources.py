@@ -13,10 +13,12 @@ from repro.sources.merge import filter_standard_ports, merge_datasets
 
 @pytest.fixture(scope="module")
 def network():
-    config = small_topology_config(seed=31)
-    config.loss_rate = 0.0
-    config.cloud_rate_limited_fraction = 0.0
-    config.isp_rate_limited_fraction = 0.0
+    config = small_topology_config(
+        seed=31,
+        loss_rate=0.0,
+        cloud_rate_limited_fraction=0.0,
+        isp_rate_limited_fraction=0.0,
+    )
     return generate_topology(config)
 
 

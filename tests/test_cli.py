@@ -49,6 +49,99 @@ class TestScanAndResolve:
         assert (tmp_path / "active.jsonl").exists()
         assert not (tmp_path / "censys.jsonl").exists()
 
+    def test_scan_registry_source(self, tmp_path):
+        # Any registered source name works, not just the two historical ones.
+        assert main(["scan", "--scale", "0.1", "--output", str(tmp_path), "--sources", "union-ipv4"]) == 0
+        assert (tmp_path / "union-ipv4.jsonl").exists()
+
+    def test_resolve_with_workers_matches_serial(self, tmp_path, capsys):
+        scan_dir = tmp_path / "scan"
+        assert main(["scan", "--scale", "0.1", "--seed", "3", "--output", str(scan_dir)]) == 0
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        for out_dir, workers in ((serial_dir, "1"), (parallel_dir, "2")):
+            assert (
+                main(
+                    [
+                        "resolve",
+                        str(scan_dir / "active.jsonl"),
+                        "--output",
+                        str(out_dir),
+                        "--workers",
+                        workers,
+                    ]
+                )
+                == 0
+            )
+        assert (serial_dir / "ipv4_alias_sets.json").read_text() == (
+            parallel_dir / "ipv4_alias_sets.json"
+        ).read_text()
+
+
+class TestCliErrorPaths:
+    def test_scan_unknown_source(self, tmp_path, capsys):
+        exit_code = main(["scan", "--scale", "0.1", "--output", str(tmp_path), "--sources", "nonsense"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "unknown source 'nonsense'" in captured.err
+        assert not (tmp_path / "nonsense.jsonl").exists()
+
+    def test_scan_empty_sources(self, tmp_path, capsys):
+        exit_code = main(["scan", "--scale", "0.1", "--output", str(tmp_path), "--sources"])
+        assert exit_code == 2
+        assert "no sources requested" in capsys.readouterr().err
+
+    def test_scan_without_output(self, capsys):
+        exit_code = main(["scan", "--scale", "0.1"])
+        assert exit_code == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_experiments_unknown_name_message(self, capsys):
+        exit_code = main(["experiments", "--scale", "0.1", "--only", "table99"])
+        assert exit_code == 2
+        assert "unknown experiment 'table99'" in capsys.readouterr().err
+
+    def test_resolve_rejects_invalid_workers(self, tmp_path, capsys):
+        exit_code = main(
+            ["resolve", str(tmp_path / "missing.jsonl"), "--output", str(tmp_path), "--workers", "0"]
+        )
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestRegistryListings:
+    def test_scan_list_sources(self, capsys):
+        exit_code = main(["scan", "--list-sources"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("active", "censys", "union"):
+            assert name in output
+        assert "IPv6 hitlist" in output  # descriptions, not just names
+
+    def test_experiments_list(self, capsys):
+        exit_code = main(["experiments", "--list"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("table1", "table6", "figure3", "figure6"):
+            assert name in output
+        assert "ECDF" in output  # descriptions, not just names
+
+
+class TestPlan:
+    def test_plan_prints_coverage(self, capsys, tmp_path):
+        exit_code = main(
+            ["plan", "--scale", "0.05", "--seed", "3", "--vantages", "2", "--output", str(tmp_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "vantage-1" in output
+        assert "vantage-2" in output
+        assert "merged" in output
+        assert (tmp_path / "coverage.md").read_text().startswith("# Scan plan coverage")
+
+    def test_plan_rejects_zero_vantages(self, capsys):
+        assert main(["plan", "--scale", "0.05", "--vantages", "0"]) == 2
+        assert "at least one vantage" in capsys.readouterr().err
+
 
 class TestExperimentsAndClaims:
     def test_experiments_subset(self, capsys):
