@@ -1,0 +1,176 @@
+"""Benchmark of the persistence subsystem: warm starts and campaign resume.
+
+Three claims are measured and asserted:
+
+* **Warm vs cold session start** — loading a saved session and reading its
+  report caches must produce signatures identical to building the session
+  from scratch, and (once the cold path is expensive enough to measure)
+  must be faster: a warm start parses JSON instead of simulating the
+  Internet and re-resolving every composition.
+* **Rendered-experiment parity** — a session saved and re-loaded renders
+  every registered experiment byte-identically to the live session
+  (the acceptance bar of the persistence work, checked at whatever
+  ``REPRO_BENCH_SCALE`` is in effect; scale 1.0 seed 42 is the paper
+  configuration).
+* **Checkpoint + resume parity** — a campaign stopped after snapshot k and
+  resumed in a fresh engine matches the uninterrupted campaign
+  snapshot-for-snapshot (report signatures and stability metrics), and the
+  resumed run only pays for the snapshots it actually scans.
+
+Run with the usual harness, e.g.::
+
+    REPRO_BENCH_SCALE=1.0 PYTHONPATH=src python -m pytest benchmarks \
+        -o python_files='bench_*.py' -o python_functions='bench_*' -q
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.core.engine import report_signature
+from repro.net.addresses import AddressFamily
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    load_checkpoint,
+    resume_campaign,
+)
+
+#: Cold-start time (seconds) below which the warm-vs-cold assertion stays
+#: dormant: under CI smoke scales the cold path is too fast for a
+#: meaningful race.
+_ASSERT_THRESHOLD_SECONDS = 0.5
+
+#: Required speedup of a warm start over a cold start once armed.
+_REQUIRED_SPEEDUP = 2.0
+
+#: Report compositions the session benchmarks warm up.
+_COMPOSITIONS = ("active", "censys", "union")
+
+
+def _bench_config():
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    return ScenarioConfig(scale=scale, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def saved_session(tmp_path_factory):
+    """A fully warmed session, saved once for every benchmark here."""
+    session = ReproSession(_bench_config())
+    for name in _COMPOSITIONS:
+        session.report(name)
+    directory = tmp_path_factory.mktemp("persistence") / "session"
+    session.save(directory)
+    return session, directory
+
+
+def bench_warm_vs_cold_start(benchmark, saved_session):
+    """Load-and-read vs simulate-and-resolve, with signature parity."""
+    live, directory = saved_session
+    reference = {
+        name: report_signature(live.report(name)) for name in _COMPOSITIONS
+    }
+
+    def cold_start():
+        session = ReproSession(_bench_config())
+        return {name: session.report(name) for name in _COMPOSITIONS}
+
+    def warm_start():
+        session = ReproSession.load(directory)
+        return {name: session.report(name) for name in _COMPOSITIONS}
+
+    start = time.perf_counter()
+    cold_reports = cold_start()
+    cold_time = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_reports = warm_start()
+    warm_time = time.perf_counter() - start
+
+    for name in _COMPOSITIONS:
+        assert report_signature(cold_reports[name]) == reference[name]
+        assert report_signature(warm_reports[name]) == reference[name]
+
+    speedup = cold_time / warm_time if warm_time else float("inf")
+    print()
+    print(
+        f"warm start {1000 * warm_time:.0f} ms vs cold start "
+        f"{1000 * cold_time:.0f} ms over {len(_COMPOSITIONS)} compositions "
+        f"({speedup:.1f}x)"
+    )
+    if cold_time >= _ASSERT_THRESHOLD_SECONDS:
+        assert speedup >= _REQUIRED_SPEEDUP, (
+            f"warm start only {speedup:.2f}x faster than cold "
+            f"(required {_REQUIRED_SPEEDUP}x)"
+        )
+
+    benchmark.pedantic(warm_start, rounds=1, iterations=1)
+
+
+def bench_rendered_experiment_parity(benchmark, saved_session):
+    """A re-loaded session renders every experiment byte-identically."""
+    live, directory = saved_session
+    reference = live.run_experiments()
+
+    def replay():
+        return ReproSession.load(directory).run_experiments()
+
+    restored = benchmark.pedantic(replay, rounds=1, iterations=1)
+    assert restored == reference
+    print()
+    print(f"{len(reference)} experiments render byte-identically after reload")
+
+
+def bench_checkpoint_resume(benchmark, tmp_path_factory):
+    """Stop after snapshot k, resume to the end, match the straight run."""
+    config = _bench_config()
+    snapshots, stop_after = 4, 2
+
+    def campaign(horizon):
+        return ReproSession(config).longitudinal(snapshots=horizon, churn_fraction=0.02)
+
+    start = time.perf_counter()
+    uninterrupted = campaign(snapshots).run()
+    full_time = time.perf_counter() - start
+
+    # The interrupted run: a shorter horizon, checkpointing as it goes —
+    # resume then *extends* it back to the full horizon.
+    directory = tmp_path_factory.mktemp("persistence") / "checkpoint"
+    campaign(stop_after).run(checkpointer=CampaignCheckpointer(directory, config))
+
+    def resume():
+        checkpoint = load_checkpoint(directory)
+        resumed_campaign, engine = resume_campaign(checkpoint, snapshots=snapshots)
+        return checkpoint, resumed_campaign.run(
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+
+    start = time.perf_counter()
+    checkpoint, resumed = resume()
+    resume_time = time.perf_counter() - start
+
+    assert checkpoint.completed == stop_after
+    assert len(resumed.snapshots) == snapshots - stop_after
+    for resolved, reference in zip(
+        resumed.snapshots, uninterrupted.snapshots[stop_after:]
+    ):
+        assert report_signature(resolved.report) == report_signature(reference.report)
+        assert resolved.stability() == reference.stability()
+        assert resolved.stability(AddressFamily.IPV6) == reference.stability(
+            AddressFamily.IPV6
+        )
+    stored = checkpoint.stability_rows(AddressFamily.IPV4)
+    assert stored == [s.stability() for s in uninterrupted.snapshots[:stop_after]]
+
+    print()
+    print(
+        f"resume of {snapshots - stop_after}/{snapshots} snapshots "
+        f"{1000 * resume_time:.0f} ms vs full campaign {1000 * full_time:.0f} ms "
+        "(snapshot-for-snapshot parity held)"
+    )
+
+    benchmark.pedantic(resume, rounds=1, iterations=1)

@@ -12,8 +12,10 @@ measured quantity.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.analysis.tables import render_table
-from repro.longitudinal.campaign import CampaignResult
+from repro.longitudinal.campaign import CampaignResult, LongitudinalConfig, SnapshotStability
 from repro.net.addresses import AddressFamily
 
 _HEADERS = [
@@ -38,8 +40,18 @@ def stability_rows(
     result: CampaignResult, family: AddressFamily = AddressFamily.IPV4
 ) -> list[list[object]]:
     """The stability table rows for one family (first snapshot has no delta)."""
+    return stability_rows_from(result.stability(family))
+
+
+def stability_rows_from(stabilities: Iterable[SnapshotStability]) -> list[list[object]]:
+    """Stability table rows from bare metric records.
+
+    Takes the metrics rather than a :class:`CampaignResult` so a resumed
+    campaign can render one table over checkpointed rows plus the rows it
+    just produced (see :mod:`repro.persist.campaign`).
+    """
     rows: list[list[object]] = []
-    for stability in result.stability(family):
+    for stability in stabilities:
         if stability.snapshot == 0:
             rows.append(
                 [
@@ -85,25 +97,46 @@ def stability_table(
     result: CampaignResult, family: AddressFamily = AddressFamily.IPV4
 ) -> str:
     """Render the per-snapshot stability table as aligned plain text."""
+    return stability_table_from(result.stability(family), result.config, family)
+
+
+def stability_table_from(
+    stabilities: Iterable[SnapshotStability],
+    config: LongitudinalConfig,
+    family: AddressFamily = AddressFamily.IPV4,
+) -> str:
+    """Render a stability table from bare metric records (resume path)."""
     family_tag = "IPv4" if family is AddressFamily.IPV4 else "IPv6"
     title = (
         f"Longitudinal stability ({family_tag} union, "
-        f"{result.config.snapshots} snapshots, "
-        f"{100 * result.config.churn_fraction:.1f}% churn/interval)"
+        f"{config.snapshots} snapshots, "
+        f"{100 * config.churn_fraction:.1f}% churn/interval)"
     )
-    return render_table(_HEADERS, stability_rows(result, family), title=title)
+    return render_table(_HEADERS, stability_rows_from(stabilities), title=title)
 
 
 def stability_markdown(result: CampaignResult) -> str:
     """Render both families' stability tables as a markdown document."""
+    return stability_markdown_from(
+        {
+            family: result.stability(family)
+            for family in (AddressFamily.IPV4, AddressFamily.IPV6)
+        }
+    )
+
+
+def stability_markdown_from(
+    rows_by_family: dict[AddressFamily, Iterable[SnapshotStability]],
+) -> str:
+    """Markdown stability report from bare metric records (resume path)."""
     lines = ["# Longitudinal stability report", ""]
-    for family in (AddressFamily.IPV4, AddressFamily.IPV6):
+    for family, stabilities in rows_by_family.items():
         family_tag = "IPv4" if family is AddressFamily.IPV4 else "IPv6"
         lines.append(f"## {family_tag} union sets")
         lines.append("")
         lines.append("| " + " | ".join(_HEADERS) + " |")
         lines.append("|" + "---|" * len(_HEADERS))
-        for row in stability_rows(result, family):
+        for row in stability_rows_from(stabilities):
             lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
         lines.append("")
     return "\n".join(lines)

@@ -39,6 +39,7 @@ from repro.api.sources import (
     SOURCES,
     SourceSpec,
     concat,
+    file_source,
     named_source,
     register_source,
     source_kind,
@@ -62,6 +63,7 @@ __all__ = [
     "build_index_parallel",
     "concat",
     "experiment",
+    "file_source",
     "experiment_names",
     "get_experiment",
     "named_source",

@@ -195,6 +195,48 @@ class ReproSession:
         return run_scan_plan(self, plan or ScanPlan.default())
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def cached_datasets(self) -> dict[SourceSpec, ObservationDataset]:
+        """The dataset cache, keyed by spec (shared reference, read-only)."""
+        return self._datasets
+
+    def cached_reports(self) -> dict[tuple[SourceSpec, str], AliasReport]:
+        """The report cache, keyed by (spec, name) (shared reference, read-only)."""
+        return self._reports
+
+    def prime_dataset(self, spec: SourceSpec, dataset: ObservationDataset) -> None:
+        """Seed the dataset cache (used by :mod:`repro.persist` on load)."""
+        self._datasets[spec] = dataset
+
+    def prime_report(self, spec: SourceSpec, name: str, report: AliasReport) -> None:
+        """Seed the report cache (used by :mod:`repro.persist` on load)."""
+        self._reports[(spec, name)] = report
+
+    def save(self, directory) -> "ReproSession":
+        """Persist this session's configuration and caches to ``directory``.
+
+        The saved directory can be re-loaded in another process with
+        :meth:`load`; cached datasets and reports round-trip byte-faithfully
+        (see :mod:`repro.persist`).  Returns ``self`` for chaining.
+        """
+        from repro.persist.session import save_session
+
+        save_session(self, directory)
+        return self
+
+    @classmethod
+    def load(cls, directory) -> "ReproSession":
+        """Rebuild a saved session with its dataset and report caches primed.
+
+        Instantiates ``cls``, so subclasses (e.g. ``PaperScenario``) load
+        back as themselves.
+        """
+        from repro.persist.session import load_session
+
+        return load_session(directory, session_class=cls)
+
+    # ------------------------------------------------------------------ #
     # Experiments
     # ------------------------------------------------------------------ #
     def run_experiment(self, name: str) -> str:

@@ -22,9 +22,11 @@ once per session, exactly like the old hand-wired ``PaperScenario`` caches.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import TYPE_CHECKING, Callable
 
 from repro.api.registry import Registry
+from repro.errors import DatasetError
 from repro.simnet.network import VantagePoint
 from repro.sources.active import ActiveMeasurement
 from repro.sources.censys import CensysSource
@@ -148,6 +150,18 @@ def standard_ports(spec: SourceSpec) -> SourceSpec:
     return SourceSpec(kind="standard-ports", inputs=(spec,))
 
 
+def file_source(path: str | "os.PathLike[str]", label: str | None = None) -> SourceSpec:
+    """A saved JSONL dataset as a declarative source.
+
+    The file loads through :func:`repro.io.datasets.load_observations`, so
+    the dataset name comes from the embedded header record (``label``
+    overrides it).  File sources compose like any other spec — e.g.
+    ``union_of(file_source("active.jsonl"), CENSYS_IPV4)`` merges an
+    archived scan with a live snapshot.
+    """
+    return SourceSpec.create("file", label=label, path=os.fspath(path))
+
+
 # --------------------------------------------------------------------------- #
 # Built-in collection kinds
 # --------------------------------------------------------------------------- #
@@ -214,6 +228,18 @@ def _build_censys_ipv6(session: "ReproSession", spec: SourceSpec) -> Observation
         seed=session.config.seed + int(spec.param("seed_offset", 3)),
     )
     return source.snapshot_ipv6()
+
+
+@source_kind("file", "load a saved observation dataset (JSONL) from disk")
+def _build_file(session: "ReproSession", spec: SourceSpec) -> ObservationDataset:
+    # Imported here, not at module top: repro.io.datasets is pure
+    # serialisation and only file specs pay for it.
+    from repro.io.datasets import load_observations
+
+    path = spec.param("path")
+    if path is None:
+        raise DatasetError("a file source needs a 'path' parameter")
+    return load_observations(str(path), name=spec.label)
 
 
 # --------------------------------------------------------------------------- #

@@ -15,7 +15,12 @@ The CLI mirrors how the paper's artifacts would be used in practice:
   print per-vantage vs merged coverage.
 * ``repro longitudinal`` — run a multi-snapshot campaign over a churning
   simulated Internet, resolve it incrementally, and print per-snapshot
-  stability tables.
+  stability tables (``--checkpoint`` persists a resumable state after every
+  snapshot; ``--resume`` continues an interrupted campaign in a new
+  process, snapshot-for-snapshot identical to the uninterrupted run).
+* ``repro session save`` / ``repro session load`` — persist a measurement
+  session (datasets, resolved reports, configuration) and restore it in
+  another process with both caches warm.
 
 The subcommands are built on the session API (:mod:`repro.api`): sources
 and experiments resolve through registries, so registering a new source or
@@ -35,7 +40,12 @@ import sys
 from pathlib import Path
 
 from repro.analysis.report import alias_report_markdown
-from repro.analysis.stability import stability_markdown, stability_table
+from repro.analysis.stability import (
+    stability_markdown,
+    stability_markdown_from,
+    stability_table,
+    stability_table_from,
+)
 from repro.api.experiments import all_experiments, get_experiment
 from repro.api.parallel import resolve_parallel
 from repro.api.plan import ScanPlan
@@ -43,10 +53,11 @@ from repro.api.session import ReproSession
 from repro.api.sources import SOURCES
 from repro.api.config import ScenarioConfig
 from repro.core.pipeline import run_alias_resolution
-from repro.errors import RegistryError
+from repro.errors import DatasetError, RegistryError
 from repro.experiments import runner
 from repro.io.datasets import load_observations, save_alias_sets, save_observations
 from repro.net.addresses import AddressFamily
+from repro.persist.campaign import CampaignCheckpointer, load_checkpoint, resume_campaign
 from repro.sources.records import iter_observations
 
 
@@ -129,7 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     longitudinal.add_argument("--scale", type=float, default=1.0)
     longitudinal.add_argument("--seed", type=int, default=42)
     longitudinal.add_argument(
-        "--snapshots", type=int, default=4, help="number of measurement snapshots (default 4)"
+        "--snapshots",
+        type=int,
+        default=None,
+        help="number of measurement snapshots (default 4; with --resume: "
+        "extend the campaign past the checkpointed horizon)",
     )
     longitudinal.add_argument(
         "--churn",
@@ -148,6 +163,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     longitudinal.add_argument(
         "--output", type=Path, default=None, help="optional directory for stability.md"
+    )
+    longitudinal.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist a resumable checkpoint to DIR after every snapshot",
+    )
+    longitudinal.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="resume the campaign checkpointed in DIR (ignores --scale/--seed/"
+        "--churn/--interval-days/--ipv4-only: they come from the checkpoint)",
+    )
+
+    session = subparsers.add_parser(
+        "session", help="persist and restore measurement sessions"
+    )
+    session_commands = session.add_subparsers(dest="session_command", required=True)
+    session_save = session_commands.add_parser(
+        "save", help="collect datasets, resolve reports, and save the session"
+    )
+    session_save.add_argument("directory", type=Path, help="target session directory")
+    session_save.add_argument("--scale", type=float, default=1.0)
+    session_save.add_argument("--seed", type=int, default=42)
+    session_save.add_argument(
+        "--sources",
+        nargs="*",
+        default=[],
+        metavar="SOURCE",
+        help="registered sources to collect into the dataset cache",
+    )
+    session_save.add_argument(
+        "--reports",
+        nargs="*",
+        default=["active", "censys", "union"],
+        metavar="NAME",
+        help="report compositions to resolve before saving "
+        "(default: active censys union)",
+    )
+    session_load = session_commands.add_parser(
+        "load", help="restore a saved session and optionally render experiments"
+    )
+    session_load.add_argument("directory", type=Path, help="saved session directory")
+    session_load.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="experiments to render from the restored session "
+        "(no names: render all registered ones)",
     )
     return parser
 
@@ -188,10 +256,14 @@ def _command_resolve(args: argparse.Namespace) -> int:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
     datasets = []
-    for path in args.datasets:
-        dataset = load_observations(path)
-        datasets.append(dataset)
-        print(f"loaded {path} ({len(dataset)} observations)")
+    try:
+        for path in args.datasets:
+            dataset = load_observations(path)
+            datasets.append(dataset)
+            print(f"loaded {path} ({len(dataset)} observations)")
+    except DatasetError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     # Feed the loaded datasets through the single-pass engine as one stream;
     # with --workers > 1 the index is built across sharded worker processes.
     if args.workers > 1:
@@ -264,38 +336,175 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_delta_totals(result) -> tuple[int, int]:
+    """Observations added/removed across a campaign result's deltas."""
+    added = sum(len(s.capture.delta.added) for s in result.snapshots if s.capture.delta)
+    removed = sum(
+        len(s.capture.delta.removed) for s in result.snapshots if s.capture.delta
+    )
+    return added, removed
+
+
+def _write_stability_markdown(output: Path | None, markdown: str) -> None:
+    """Write stability.md into ``output`` when requested."""
+    if output is None:
+        return
+    output.mkdir(parents=True, exist_ok=True)
+    path = output / "stability.md"
+    path.write_text(markdown)
+    print(f"wrote {path}")
+
+
 def _command_longitudinal(args: argparse.Namespace) -> int:
+    if args.resume is not None:
+        return _longitudinal_resume(args)
+    snapshots = args.snapshots if args.snapshots is not None else 4
+    if snapshots < 1:
+        print("a campaign needs at least one snapshot", file=sys.stderr)
+        return 2
     session = _session(args)
     campaign = session.longitudinal(
-        snapshots=args.snapshots,
+        snapshots=snapshots,
         churn_fraction=args.churn,
         interval=args.interval_days * 86400.0,
         include_ipv6=not args.ipv4_only,
     )
-    result = campaign.run()
+    checkpointer = None
+    if args.checkpoint is not None:
+        checkpointer = CampaignCheckpointer(args.checkpoint, session.config)
+    result = campaign.run(checkpointer=checkpointer)
     print(stability_table(result, AddressFamily.IPV4))
     if not args.ipv4_only:
         print()
         print(stability_table(result, AddressFamily.IPV6))
     final = result.final_report
-    total_added = sum(
-        len(s.capture.delta.added) for s in result.snapshots if s.capture.delta
-    )
-    total_removed = sum(
-        len(s.capture.delta.removed) for s in result.snapshots if s.capture.delta
-    )
+    total_added, total_removed = _campaign_delta_totals(result)
     print()
     print(
-        f"incrementally re-resolved {args.snapshots - 1} deltas "
+        f"incrementally re-resolved {snapshots - 1} deltas "
         f"(+{total_added}/-{total_removed} observations) on top of "
         f"{len(result.snapshots[0].capture.observations)} bootstrap observations"
     )
     print(f"final IPv4 non-singleton union sets: {len(final.ipv4_union.non_singleton())}")
-    if args.output is not None:
-        args.output.mkdir(parents=True, exist_ok=True)
-        path = args.output / "stability.md"
-        path.write_text(stability_markdown(result))
-        print(f"wrote {path}")
+    if checkpointer is not None:
+        print(f"checkpointed {len(result.snapshots)} snapshots to {args.checkpoint}")
+    _write_stability_markdown(args.output, stability_markdown(result))
+    return 0
+
+
+def _longitudinal_resume(args: argparse.Namespace) -> int:
+    try:
+        checkpoint = load_checkpoint(args.resume)
+        campaign, engine = resume_campaign(checkpoint, snapshots=args.snapshots)
+    except DatasetError as error:  # PersistError included — it subclasses this
+        print(str(error), file=sys.stderr)
+        return 2
+    print(
+        f"resuming after snapshot {checkpoint.completed - 1} "
+        f"({checkpoint.completed}/{campaign.config.snapshots} snapshots completed)"
+    )
+    checkpoint_dir = args.checkpoint if args.checkpoint is not None else args.resume
+    checkpointer = CampaignCheckpointer(
+        checkpoint_dir, checkpoint.scenario, prior_stability=checkpoint.stability
+    )
+    result = campaign.run(
+        checkpointer=checkpointer,
+        start=checkpoint.completed,
+        previous=checkpoint.last_observations,
+        engine=engine,
+    )
+    families = [AddressFamily.IPV4]
+    if checkpoint.include_ipv6:
+        families.append(AddressFamily.IPV6)
+    combined = {
+        family: checkpoint.stability_rows(family)
+        + [snapshot.stability(family) for snapshot in result.snapshots]
+        for family in families
+    }
+    for position, family in enumerate(families):
+        if position:
+            print()
+        print(stability_table_from(combined[family], campaign.config, family))
+    final = result.final_report if result.snapshots else engine.report
+    total_added, total_removed = _campaign_delta_totals(result)
+    print()
+    print(
+        f"resumed {len(result.snapshots)} snapshots "
+        f"(+{total_added}/-{total_removed} observations) on the restored index"
+    )
+    print(f"final IPv4 non-singleton union sets: {len(final.ipv4_union.non_singleton())}")
+    _write_stability_markdown(args.output, stability_markdown_from(combined))
+    return 0
+
+
+def _command_session(args: argparse.Namespace) -> int:
+    if args.session_command == "save":
+        return _session_save(args)
+    return _session_load(args)
+
+
+def _session_save(args: argparse.Namespace) -> int:
+    session = _session(args)
+    try:
+        for name in args.sources:
+            dataset = session.dataset(name)
+            print(f"collected {name} ({len(dataset)} observations)")
+        for name in args.reports:
+            report = session.report(name)
+            print(
+                f"resolved {name} "
+                f"({len(report.ipv4_union.non_singleton())} IPv4 non-singleton sets)"
+            )
+        session.save(args.directory)
+    except (RegistryError, DatasetError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    cached = len(session.cached_datasets())
+    print(
+        f"saved session to {args.directory} "
+        f"({cached} datasets, {len(session.cached_reports())} reports)"
+    )
+    return 0
+
+
+def _session_load(args: argparse.Namespace) -> int:
+    try:
+        session = ReproSession.load(args.directory)
+    except DatasetError as error:  # PersistError included — it subclasses this
+        print(str(error), file=sys.stderr)
+        return 2
+    config = session.config
+    datasets = session.cached_datasets()
+    reports = session.cached_reports()
+    print(
+        f"loaded session from {args.directory} "
+        f"(scale {config.scale}, seed {config.seed}: "
+        f"{len(datasets)} datasets, {len(reports)} reports)"
+    )
+    for dataset in datasets.values():
+        print(f"  dataset {dataset.name}: {len(dataset)} observations")
+    for (_, name), report in reports.items():
+        print(
+            f"  report {name}: "
+            f"{len(report.ipv4_union.non_singleton())} IPv4 non-singleton sets"
+        )
+    if args.experiments is not None:
+        try:
+            selected = [
+                get_experiment(name)
+                for name in (
+                    args.experiments
+                    if args.experiments
+                    else [entry.name for entry in all_experiments()]
+                )
+            ]
+        except RegistryError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        for registered in selected:
+            print(f"=== {registered.name}")
+            print(registered.run(session))
+            print()
     return 0
 
 
@@ -306,6 +515,7 @@ _COMMANDS = {
     "claims": _command_claims,
     "plan": _command_plan,
     "longitudinal": _command_longitudinal,
+    "session": _command_session,
 }
 
 

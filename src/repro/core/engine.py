@@ -266,6 +266,60 @@ class ObservationIndex:
         return self
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Deep-copied internal state, for persistence.
+
+        The returned structure contains plain dicts and ints only (bucket
+        keys stay ``(ServiceType, AddressFamily)`` tuples — the JSON
+        encoding lives in :mod:`repro.persist.index`).  Unlike
+        :meth:`state_signature` it keeps the per-address ASN reference
+        counts, so a restored index supports exact removal replay.
+        """
+        return {
+            "observed": self._observed,
+            "indexed": self._indexed,
+            "members": {
+                key: {value: dict(addresses) for value, addresses in members.items()}
+                for key, members in self._members.items()
+            },
+            "asn": {key: dict(mapping) for key, mapping in self._asn.items()},
+            "asn_refs": {key: dict(mapping) for key, mapping in self._asn_refs.items()},
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, options: IdentifierOptions = DEFAULT_OPTIONS
+    ) -> "ObservationIndex":
+        """Rebuild an index from :meth:`export_state` output.
+
+        Every identifier is marked dirty, so an incremental consumer
+        attached to the restored index (e.g.
+        :meth:`repro.longitudinal.engine.LongitudinalEngine.restore`)
+        derives its full state on the first drain — exactly as if the
+        index had just been built by streaming additions.
+        """
+        try:
+            index = cls(options)
+            index._observed = int(state["observed"])
+            index._indexed = int(state["indexed"])
+            bucket_keys = (
+                set(state["members"]) | set(state["asn"]) | set(state["asn_refs"])
+            )
+            for bucket_key in bucket_keys:
+                members = state["members"].get(bucket_key, {})
+                index._members[bucket_key] = {
+                    value: dict(addresses) for value, addresses in members.items()
+                }
+                index._asn[bucket_key] = dict(state["asn"].get(bucket_key, {}))
+                index._asn_refs[bucket_key] = dict(state["asn_refs"].get(bucket_key, {}))
+                index._dirty[bucket_key] = set(members)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed observation index state: {exc}") from exc
+        return index
+
+    # ------------------------------------------------------------------ #
     # Incremental-consumer accessors
     # ------------------------------------------------------------------ #
     def consume_dirty(self) -> dict[_BucketKey, set[str]]:

@@ -41,6 +41,15 @@ class DatasetError(ReproError):
     """A dataset file or record could not be read or written."""
 
 
+class PersistError(DatasetError):
+    """Persisted state could not be saved, loaded, or verified.
+
+    Also a :class:`DatasetError`: persisted sessions, indexes and campaign
+    checkpoints are dataset artifacts, and callers guarding dataset loads
+    already catch that class.
+    """
+
+
 class RegistryError(ReproError, ValueError):
     """A name could not be resolved against (or added to) a registry.
 

@@ -7,17 +7,27 @@ files and alias/dual-stack sets as JSON documents.
 
 from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.io.datasets import (
+    DATASET_FORMAT_VERSION,
+    DATASET_HEADER_KEY,
+    dataset_header,
     load_alias_sets,
     load_observations,
+    observation_from_dict,
+    observation_to_dict,
     save_alias_sets,
     save_observations,
 )
 
 __all__ = [
+    "DATASET_FORMAT_VERSION",
+    "DATASET_HEADER_KEY",
+    "dataset_header",
     "read_jsonl",
     "write_jsonl",
     "load_alias_sets",
     "load_observations",
+    "observation_from_dict",
+    "observation_to_dict",
     "save_alias_sets",
     "save_observations",
 ]

@@ -245,6 +245,21 @@ class LongitudinalCampaign:
         """The network under measurement (its churn model is mutated)."""
         return self._network
 
+    @property
+    def vantage(self) -> VantagePoint:
+        """The vantage point every snapshot scans from."""
+        return self._vantage
+
+    @property
+    def hitlist(self) -> list[str] | None:
+        """The IPv6 hitlist, or ``None`` when the campaign is IPv4-only."""
+        return self._hitlist
+
+    @property
+    def options(self) -> IdentifierOptions:
+        """The identifier construction options in use."""
+        return self._options
+
     # ------------------------------------------------------------------ #
     # Phase 1: data collection
     # ------------------------------------------------------------------ #
@@ -289,8 +304,23 @@ class LongitudinalCampaign:
             observations.extend(ipv6)
         return observations
 
-    def collect(self) -> list[SnapshotCapture]:
-        """Run every snapshot's scan and compute the inter-snapshot deltas.
+    def replay_churn(self, upto: int) -> None:
+        """Re-inject the churn of the intervals before snapshot ``upto``.
+
+        Churn sampling is deterministic in (seed, snapshot, topology), so a
+        campaign resumed on a freshly regenerated network calls this with
+        the number of completed snapshots and the network carries exactly
+        the churn events the interrupted run had injected.
+        """
+        config = self._config
+        for snapshot in range(1, upto):
+            time = config.start_time + snapshot * config.interval
+            self._inject_churn(snapshot, switch_time=time - config.interval / 2)
+
+    def _capture(
+        self, snapshot: int, previous: tuple[Observation, ...] | None
+    ) -> SnapshotCapture:
+        """Inject churn, scan, and diff one snapshot against ``previous``.
 
         Churn for the interval ``(t_k-1, t_k]`` is injected before snapshot
         ``k`` scans, with the switch in the middle of the interval.  The
@@ -299,50 +329,107 @@ class LongitudinalCampaign:
         events) whose switch time falls inside the interval.
         """
         config = self._config
-        captures: list[SnapshotCapture] = []
-        previous: tuple[Observation, ...] | None = None
-        for snapshot in range(config.snapshots):
-            time = config.start_time + snapshot * config.interval
-            churned = frozenset()
-            if snapshot:
-                self._inject_churn(snapshot, switch_time=time - config.interval / 2)
-                window_start = time - config.interval
-                churned = frozenset(
-                    event.address
-                    for event in self._network.churn.events()
-                    if window_start < event.switch_time <= time
-                )
-            observations = tuple(self._scan(snapshot, time))
-            delta = diff_observations(previous, observations) if snapshot else None
-            captures.append(
-                SnapshotCapture(
-                    index=snapshot,
-                    time=time,
-                    observations=observations,
-                    delta=delta,
-                    churned=churned,
-                )
+        time = config.start_time + snapshot * config.interval
+        churned = frozenset()
+        if snapshot:
+            self._inject_churn(snapshot, switch_time=time - config.interval / 2)
+            window_start = time - config.interval
+            churned = frozenset(
+                event.address
+                for event in self._network.churn.events()
+                if window_start < event.switch_time <= time
             )
-            previous = observations
+        observations = tuple(self._scan(snapshot, time))
+        delta = diff_observations(previous, observations) if snapshot else None
+        return SnapshotCapture(
+            index=snapshot,
+            time=time,
+            observations=observations,
+            delta=delta,
+            churned=churned,
+        )
+
+    def collect(
+        self,
+        start: int = 0,
+        previous: tuple[Observation, ...] | None = None,
+    ) -> list[SnapshotCapture]:
+        """Run the snapshot scans from ``start`` and compute the deltas.
+
+        ``start > 0`` resumes a campaign mid-run: ``previous`` must be the
+        observations of snapshot ``start - 1`` (what a checkpoint stores)
+        and the network must already carry the earlier intervals' churn
+        (see :meth:`replay_churn`).
+        """
+        if start and previous is None:
+            raise SimulationError(
+                "resuming collection needs the previous snapshot's observations"
+            )
+        captures: list[SnapshotCapture] = []
+        for snapshot in range(start, self._config.snapshots):
+            capture = self._capture(snapshot, previous)
+            captures.append(capture)
+            previous = capture.observations
         return captures
 
     # ------------------------------------------------------------------ #
     # Phase 2: incremental resolution
     # ------------------------------------------------------------------ #
-    def resolve(self, captures: Iterable[SnapshotCapture]) -> CampaignResult:
-        """Resolve a capture sequence incrementally."""
-        engine = LongitudinalEngine(self._options)
-        resolutions: list[SnapshotResolution] = []
-        for capture in captures:
-            if capture.delta is None:
-                resolution = engine.bootstrap(capture.observations, name=capture.name)
-            else:
-                resolution = engine.apply(capture.delta, name=capture.name)
-            resolutions.append(
-                SnapshotResolution(capture=capture, resolution=resolution)
-            )
+    @staticmethod
+    def _resolve_one(
+        engine: LongitudinalEngine, capture: SnapshotCapture
+    ) -> SnapshotResolution:
+        """Resolve one capture: bootstrap without a delta, replay with one."""
+        if capture.delta is None:
+            resolution = engine.bootstrap(capture.observations, name=capture.name)
+        else:
+            resolution = engine.apply(capture.delta, name=capture.name)
+        return SnapshotResolution(capture=capture, resolution=resolution)
+
+    def resolve(
+        self,
+        captures: Iterable[SnapshotCapture],
+        engine: LongitudinalEngine | None = None,
+    ) -> CampaignResult:
+        """Resolve a capture sequence incrementally.
+
+        Pass a restored ``engine`` (:meth:`LongitudinalEngine.restore`) to
+        continue a checkpointed campaign: the first capture then carries a
+        delta and replays against the restored index instead of
+        bootstrapping.
+        """
+        engine = engine or LongitudinalEngine(self._options)
+        resolutions = [self._resolve_one(engine, capture) for capture in captures]
         return CampaignResult(config=self._config, snapshots=tuple(resolutions))
 
-    def run(self) -> CampaignResult:
-        """Collect every snapshot and resolve the campaign incrementally."""
-        return self.resolve(self.collect())
+    def run(
+        self,
+        checkpointer=None,
+        start: int = 0,
+        previous: tuple[Observation, ...] | None = None,
+        engine: LongitudinalEngine | None = None,
+    ) -> CampaignResult:
+        """Collect and resolve the campaign, snapshot by snapshot.
+
+        Unlike ``resolve(collect())`` — which the benchmarks use to time
+        the two phases separately — this interleaves collection and
+        resolution, so a ``checkpointer``
+        (:class:`repro.persist.campaign.CampaignCheckpointer`) can persist
+        a consistent state after every snapshot.  ``start``, ``previous``
+        and ``engine`` resume a checkpointed campaign mid-run.
+        """
+        if start and (previous is None or engine is None):
+            raise SimulationError(
+                "resuming a campaign needs the previous snapshot's observations "
+                "and a restored engine"
+            )
+        engine = engine or LongitudinalEngine(self._options)
+        resolutions: list[SnapshotResolution] = []
+        for snapshot in range(start, self._config.snapshots):
+            capture = self._capture(snapshot, previous)
+            resolved = self._resolve_one(engine, capture)
+            resolutions.append(resolved)
+            previous = capture.observations
+            if checkpointer is not None:
+                checkpointer.save(self, engine, resolved)
+        return CampaignResult(config=self._config, snapshots=tuple(resolutions))

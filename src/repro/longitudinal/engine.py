@@ -264,6 +264,24 @@ class LongitudinalEngine:
         """The most recent snapshot's report, if any."""
         return self._previous
 
+    @classmethod
+    def restore(cls, index: ObservationIndex, name: str) -> "LongitudinalEngine":
+        """Rebuild an engine around a restored index (checkpoint resume).
+
+        ``index`` must have every identifier marked dirty (what
+        :meth:`~repro.core.engine.ObservationIndex.from_state` guarantees),
+        so the refresh below derives every collection, union component and
+        merged ASN mapping exactly as the original engine held them after
+        resolving the snapshot called ``name``.  The engine's identifier
+        cache starts empty — the first delta replay re-extracts what it
+        touches and re-populates it — and :meth:`apply` continues from
+        ``name`` as if the process had never exited.
+        """
+        engine = cls(index.options)
+        engine._index = index
+        engine._refresh(name)
+        return engine
+
     def bootstrap(
         self, observations: Iterable[Observation], name: str = "snapshot-0"
     ) -> IncrementalResolution:

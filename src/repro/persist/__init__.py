@@ -1,0 +1,63 @@
+"""Persistence and resume: sessions, indexes, reports, campaigns.
+
+The paper's longitudinal analysis compares snapshots and alias-set reports
+across collection runs, which assumes measurement state survives the
+process that produced it.  This package provides that survival on top of
+the byte-faithful observation round-trip of :mod:`repro.io`:
+
+* :mod:`repro.persist.index` — snapshot/restore of the single-pass
+  :class:`~repro.core.engine.ObservationIndex`, with state-signature
+  parity asserted on load.
+* :mod:`repro.persist.report` — full :class:`~repro.core.engine.AliasReport`
+  documents, signature-verified on load.
+* :mod:`repro.persist.session` — ``ReproSession.save(dir)`` /
+  ``ReproSession.load(dir)``: configuration plus the dataset and report
+  caches, so a session survives across processes.
+* :mod:`repro.persist.campaign` — longitudinal campaign checkpoints:
+  stop after snapshot *k*, resume to *k+n* with incremental
+  re-resolution intact (``repro longitudinal --checkpoint/--resume``).
+
+Every artifact embeds a digest of its canonical state and fails loudly
+(:class:`~repro.errors.PersistError`) when what was restored would not
+derive the same reports as what was saved.
+"""
+
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    LoadedCheckpoint,
+    load_checkpoint,
+    resume_campaign,
+)
+from repro.persist.index import (
+    load_index,
+    save_index,
+    state_signature_digest,
+)
+from repro.persist.report import (
+    report_from_document,
+    report_signature_digest,
+    report_to_document,
+)
+from repro.persist.session import (
+    load_session,
+    save_session,
+    spec_from_document,
+    spec_to_document,
+)
+
+__all__ = [
+    "CampaignCheckpointer",
+    "LoadedCheckpoint",
+    "load_checkpoint",
+    "load_index",
+    "load_session",
+    "report_from_document",
+    "report_signature_digest",
+    "report_to_document",
+    "resume_campaign",
+    "save_index",
+    "save_session",
+    "spec_from_document",
+    "spec_to_document",
+    "state_signature_digest",
+]

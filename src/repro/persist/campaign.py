@@ -1,0 +1,333 @@
+"""Checkpoint and resume of longitudinal campaigns.
+
+A checkpoint directory lets a ``repro longitudinal`` campaign stop after
+snapshot *k* and resume to *k+n* in another process with incremental
+re-resolution intact:
+
+* ``checkpoint.json`` — manifest: format version, the
+  :class:`~repro.api.config.ScenarioConfig` the network regenerates from,
+  the :class:`~repro.longitudinal.campaign.LongitudinalConfig`, identifier
+  options, vantage, completed snapshot count, the IDS probe counters, the
+  accumulated per-snapshot stability rows of both families, and the names
+  plus signature digest of the data files it pairs with (so a checkpoint
+  torn between file writes is detected on load).
+* ``index-NNNN.json`` — the engine's live
+  :class:`~repro.core.engine.ObservationIndex` after snapshot ``NNNN - 1``
+  (:mod:`repro.persist.index`, signature-verified on load).
+* ``snapshot-NNNN.jsonl`` — the last resolved snapshot's observations,
+  the diff baseline of the first resumed snapshot.
+
+Data files are versioned per snapshot and the atomically-replaced
+manifest always lands last, so a crash mid-checkpoint leaves either the
+new checkpoint or the previous one fully intact — superseded data files
+are pruned only after the new manifest is on disk.
+
+Everything else a resumed campaign needs is deterministic: the topology
+regenerates from the scenario config, and
+:meth:`~repro.longitudinal.campaign.LongitudinalCampaign.replay_churn`
+re-injects the completed intervals' churn from the campaign seed.  The
+resumed engine continues applying deltas against the restored index, so a
+resumed campaign matches the uninterrupted one snapshot for snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.api.config import ScenarioConfig
+from repro.core.engine import ObservationIndex
+from repro.core.identifiers import IdentifierOptions
+from repro.errors import DatasetError, PersistError
+from repro.io.datasets import load_observations
+from repro.longitudinal.campaign import (
+    LongitudinalCampaign,
+    LongitudinalConfig,
+    SnapshotResolution,
+    SnapshotStability,
+)
+from repro.longitudinal.engine import LongitudinalEngine
+from repro.net.addresses import AddressFamily
+from repro.persist.files import (
+    read_json_document,
+    save_observations_atomic,
+    write_atomic,
+)
+from repro.persist.index import index_from_document, index_to_document
+from repro.simnet.network import VantagePoint
+from repro.simnet.topology import generate_topology
+from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
+from repro.sources.records import Observation, ObservationDataset
+
+#: Current checkpoint format version.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Manifest file name inside a checkpoint directory.
+CHECKPOINT_MANIFEST = "checkpoint.json"
+
+#: Family tags under which stability rows are stored in the manifest.
+_FAMILY_TAGS = {AddressFamily.IPV4: "ipv4", AddressFamily.IPV6: "ipv6"}
+
+
+class CampaignCheckpointer:
+    """Persists a resumable campaign state after every resolved snapshot.
+
+    Pass one to :meth:`~repro.longitudinal.campaign.LongitudinalCampaign.run`;
+    it overwrites the checkpoint directory with a consistent state after
+    each snapshot, accumulating the stability rows of every snapshot seen
+    (including, on resume, the rows a loaded checkpoint already carried).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        scenario: ScenarioConfig,
+        prior_stability: dict[str, list[dict]] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.scenario = scenario
+        self._stability: dict[str, list[dict]] = {
+            tag: list((prior_stability or {}).get(tag, ())) for tag in _FAMILY_TAGS.values()
+        }
+
+    def save(
+        self,
+        campaign: LongitudinalCampaign,
+        engine: LongitudinalEngine,
+        resolved: SnapshotResolution,
+    ) -> None:
+        """Write the checkpoint for one freshly resolved snapshot.
+
+        The data files carry the snapshot number in their names and the
+        manifest (replaced atomically, last) references them — a crash at
+        any point leaves either the new checkpoint or the previous one
+        fully intact on disk, never neither.  Superseded data files are
+        pruned only after the new manifest has landed.
+        """
+        directory = self.directory
+        directory.mkdir(parents=True, exist_ok=True)
+        for family, tag in _FAMILY_TAGS.items():
+            self._stability[tag].append(dataclasses.asdict(resolved.stability(family)))
+        capture = resolved.capture
+        completed = capture.index + 1
+        index_file = f"index-{completed:04d}.json"
+        snapshot_file = f"snapshot-{completed:04d}.jsonl"
+        index_document = index_to_document(engine.index)
+        write_atomic(directory / index_file, json.dumps(index_document))
+        save_observations_atomic(
+            ObservationDataset(capture.name, capture.observations),
+            directory / snapshot_file,
+        )
+        vantage = campaign.vantage
+        manifest = {
+            "version": CHECKPOINT_FORMAT_VERSION,
+            "scenario": dataclasses.asdict(self.scenario),
+            "campaign": dataclasses.asdict(campaign.config),
+            "options": dataclasses.asdict(campaign.options),
+            "vantage": {
+                "name": vantage.name,
+                "address": vantage.address,
+                "distributed": vantage.distributed,
+            },
+            "include_ipv6": campaign.hitlist is not None,
+            "completed": completed,
+            "last_name": capture.name,
+            "observations": len(capture.observations),
+            "index_file": index_file,
+            "last_snapshot_file": snapshot_file,
+            "index_signature": index_document["signature"],
+            "probe_counts": [
+                [vantage_name, asn, window, count]
+                for (vantage_name, asn, window), count in sorted(
+                    campaign.network.export_probe_counts().items()
+                )
+            ],
+            "stability": self._stability,
+        }
+        # The manifest lands last: whatever it describes is already on disk.
+        write_atomic(directory / CHECKPOINT_MANIFEST, json.dumps(manifest, indent=2))
+        for stale in directory.glob("index-*.json"):
+            if stale.name != index_file:
+                stale.unlink(missing_ok=True)
+        for stale in directory.glob("snapshot-*.jsonl"):
+            if stale.name != snapshot_file:
+                stale.unlink(missing_ok=True)
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadedCheckpoint:
+    """A verified campaign checkpoint, ready to resume from.
+
+    Attributes:
+        directory: the checkpoint directory it was loaded from.
+        scenario: scenario configuration the network regenerates from.
+        campaign: longitudinal configuration of the interrupted run.
+        options: identifier construction options.
+        vantage: the vantage point the campaign scans from.
+        include_ipv6: whether the campaign scans the IPv6 hitlist.
+        completed: number of fully resolved snapshots.
+        last_name: resolution label of the last completed snapshot.
+        last_observations: that snapshot's observations (diff baseline).
+        index: the restored live observation index.
+        probe_counts: per-(vantage, AS, window) IDS probe counters at the
+            checkpoint, restored onto the regenerated network so snapshots
+            sharing a rate-limit window with completed scans see the same
+            IDS state as the uninterrupted run.
+        stability: per-family stability rows of the completed snapshots,
+            as manifest dicts (feed back into a checkpointer on resume).
+    """
+
+    directory: Path
+    scenario: ScenarioConfig
+    campaign: LongitudinalConfig
+    options: IdentifierOptions
+    vantage: VantagePoint
+    include_ipv6: bool
+    completed: int
+    last_name: str
+    last_observations: tuple[Observation, ...]
+    index: ObservationIndex
+    probe_counts: dict[tuple[str, int, int], int]
+    stability: dict[str, list[dict]]
+
+    def stability_rows(self, family: AddressFamily) -> list[SnapshotStability]:
+        """The completed snapshots' stability metrics for one family."""
+        return [
+            SnapshotStability(**row) for row in self.stability[_FAMILY_TAGS[family]]
+        ]
+
+
+def load_checkpoint(directory: str | Path) -> LoadedCheckpoint:
+    """Load and verify a campaign checkpoint.
+
+    Raises:
+        PersistError: when the directory holds no checkpoint, the format
+            version is unsupported, the index snapshot fails its own
+            signature parity, or the index on disk does not match the
+            manifest (a checkpoint torn between file writes).
+    """
+    directory = Path(directory)
+    manifest_path = directory / CHECKPOINT_MANIFEST
+    if not manifest_path.exists():
+        raise PersistError(
+            f"{directory} is not a campaign checkpoint (no {CHECKPOINT_MANIFEST})"
+        )
+    manifest = read_json_document(manifest_path, "checkpoint manifest")
+    try:
+        version = manifest["version"]
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise PersistError(f"unsupported checkpoint version {version!r}")
+        scenario = ScenarioConfig(**manifest["scenario"])
+        campaign = LongitudinalConfig(**manifest["campaign"])
+        options = IdentifierOptions(**manifest["options"])
+        vantage = VantagePoint(**manifest["vantage"])
+        include_ipv6 = bool(manifest["include_ipv6"])
+        completed = int(manifest["completed"])
+        last_name = manifest["last_name"]
+        expected_observations = int(manifest["observations"])
+        index_file = str(manifest["index_file"])
+        snapshot_file = str(manifest["last_snapshot_file"])
+        index_signature = manifest["index_signature"]
+        probe_counts = {
+            (str(vantage_name), int(asn), int(window)): int(count)
+            for vantage_name, asn, window, count in manifest.get("probe_counts", ())
+        }
+        stability = {
+            tag: list(manifest["stability"].get(tag, ()))
+            for tag in _FAMILY_TAGS.values()
+        }
+    except PersistError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed checkpoint manifest {manifest_path}: {exc}") from exc
+    index_document = read_json_document(
+        directory / index_file, "checkpoint index snapshot"
+    )
+    document_signature = index_document.get("signature") if isinstance(index_document, dict) else None
+    if document_signature != index_signature:
+        raise PersistError(
+            "checkpoint index does not match its manifest "
+            f"(manifest {str(index_signature)[:12]}…, "
+            f"index {str(document_signature)[:12]}…); "
+            "the checkpoint was likely torn mid-write — re-run without --resume"
+        )
+    # index_from_document re-verifies the digest against the *rebuilt* index,
+    # so manifest == document == restored state, with one hash computation.
+    index = index_from_document(index_document)
+    try:
+        dataset = load_observations(directory / snapshot_file)
+    except PersistError:
+        raise
+    except DatasetError as exc:
+        raise PersistError(f"checkpoint last-snapshot file is unreadable: {exc}") from exc
+    if len(dataset) != expected_observations:
+        raise PersistError(
+            f"checkpoint last-snapshot file holds {len(dataset)} observations, "
+            f"manifest expects {expected_observations}"
+        )
+    return LoadedCheckpoint(
+        directory=directory,
+        scenario=scenario,
+        campaign=campaign,
+        options=options,
+        vantage=vantage,
+        include_ipv6=include_ipv6,
+        completed=completed,
+        last_name=last_name,
+        last_observations=tuple(dataset),
+        index=index,
+        probe_counts=probe_counts,
+        stability=stability,
+    )
+
+
+def resume_campaign(
+    checkpoint: LoadedCheckpoint, snapshots: int | None = None
+) -> tuple[LongitudinalCampaign, LongitudinalEngine]:
+    """Rebuild the campaign and engine a checkpoint describes.
+
+    ``snapshots`` extends (or sets) the campaign's total snapshot count —
+    resuming with the stored count finishes the interrupted run; a larger
+    count keeps measuring past the original horizon.  Returns the campaign
+    (network regenerated, completed churn re-injected) and the restored
+    engine; continue with::
+
+        campaign.run(start=checkpoint.completed,
+                     previous=checkpoint.last_observations,
+                     engine=engine)
+
+    Raises:
+        PersistError: when ``snapshots`` is smaller than the completed count.
+    """
+    config = checkpoint.campaign
+    if snapshots is not None:
+        if snapshots < checkpoint.completed:
+            raise PersistError(
+                f"cannot resume to {snapshots} snapshots: "
+                f"{checkpoint.completed} already completed"
+            )
+        config = dataclasses.replace(config, snapshots=snapshots)
+    scenario = checkpoint.scenario
+    network = generate_topology(scenario.topology_config())
+    hitlist = None
+    if checkpoint.include_ipv6:
+        hitlist = build_ipv6_hitlist(
+            network,
+            HitlistConfig(
+                server_coverage=scenario.hitlist_server_coverage,
+                router_coverage=scenario.hitlist_router_coverage,
+                seed=scenario.seed,
+            ),
+        )
+    campaign = LongitudinalCampaign(
+        network,
+        vantage=checkpoint.vantage,
+        hitlist=hitlist,
+        config=config,
+        options=checkpoint.options,
+    )
+    campaign.replay_churn(checkpoint.completed)
+    network.restore_probe_counts(checkpoint.probe_counts)
+    engine = LongitudinalEngine.restore(checkpoint.index, checkpoint.last_name)
+    return campaign, engine

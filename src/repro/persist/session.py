@@ -1,0 +1,201 @@
+"""Persist and restore a :class:`~repro.api.session.ReproSession`.
+
+A saved session is a directory:
+
+* ``session.json`` — manifest: format version, the
+  :class:`~repro.api.config.ScenarioConfig`, the identifier options, and
+  one entry per cached dataset and report (each carrying its declarative
+  :class:`~repro.api.sources.SourceSpec` tree).
+* ``datasets/NNN.jsonl`` — one JSON-lines file per cached dataset (the
+  byte-faithful observation round-trip of :mod:`repro.io.datasets`).
+* ``reports/NNN.json`` — one document per cached report
+  (:mod:`repro.persist.report`), signature-verified on load.
+
+``load_session`` rebuilds the session with both caches primed: a source
+that was collected before the save never re-runs, and a report that was
+resolved before the save never re-resolves — while anything *not* cached
+is rebuilt lazily from the session's (deterministic) configuration, so a
+restored session composes exactly like the live one did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.api.config import ScenarioConfig
+from repro.api.sources import SourceSpec
+from repro.core.identifiers import IdentifierOptions
+from repro.errors import DatasetError, PersistError
+from repro.io.datasets import load_observations
+from repro.persist.files import (
+    read_json_document,
+    save_observations_atomic,
+    write_atomic,
+)
+from repro.persist.report import report_from_document, report_to_document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.api.session import ReproSession
+
+#: Current session directory format version.
+SESSION_FORMAT_VERSION = 1
+
+#: Manifest file name inside a session directory.
+SESSION_MANIFEST = "session.json"
+
+
+def spec_to_document(spec: SourceSpec) -> dict:
+    """Render a spec tree as a JSON-serialisable document."""
+    return {
+        "kind": spec.kind,
+        "params": [[key, value] for key, value in spec.params],
+        "inputs": [spec_to_document(input_spec) for input_spec in spec.inputs],
+        "label": spec.label,
+    }
+
+
+def spec_from_document(document: dict) -> SourceSpec:
+    """Rebuild a spec tree from its document form."""
+    try:
+        return SourceSpec(
+            kind=document["kind"],
+            params=tuple((key, value) for key, value in document.get("params", [])),
+            inputs=tuple(
+                spec_from_document(entry) for entry in document.get("inputs", [])
+            ),
+            label=document.get("label"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed source spec document: {document!r}") from exc
+
+
+def save_session(session: "ReproSession", directory: str | Path) -> Path:
+    """Write a session's configuration and caches to ``directory``.
+
+    Returns the directory path.  Existing files are overwritten; the
+    directory (and parents) are created when missing.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    # Every file lands atomically and the manifest lands last; the manifest
+    # additionally pins each data file's identity (dataset header name and
+    # count, report signature digest), so a save interrupted between files
+    # can never mix old metadata with new contents undetected.
+    dataset_entries = []
+    for position, (spec, dataset) in enumerate(session.cached_datasets().items()):
+        relative = f"datasets/{position:03d}.jsonl"
+        count = save_observations_atomic(dataset, directory / relative)
+        dataset_entries.append(
+            {
+                "spec": spec_to_document(spec),
+                "file": relative,
+                "name": dataset.name,
+                "count": count,
+            }
+        )
+    report_entries = []
+    for position, ((spec, name), report) in enumerate(session.cached_reports().items()):
+        relative = f"reports/{position:03d}.json"
+        document = report_to_document(report)
+        write_atomic(directory / relative, json.dumps(document))
+        # The manifest pins each report's signature (and each dataset its
+        # header name + count above), so a save torn between data files and
+        # the manifest can never silently pair old metadata with new
+        # contents — the pin comparison fails loudly on load.
+        report_entries.append(
+            {
+                "spec": spec_to_document(spec),
+                "name": name,
+                "file": relative,
+                "signature": document["signature"],
+            }
+        )
+    manifest = {
+        "version": SESSION_FORMAT_VERSION,
+        "config": dataclasses.asdict(session.config),
+        "options": dataclasses.asdict(session.options),
+        "datasets": dataset_entries,
+        "reports": report_entries,
+    }
+    write_atomic(directory / SESSION_MANIFEST, json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_session(
+    directory: str | Path, session_class: type | None = None
+) -> "ReproSession":
+    """Rebuild a session from a saved directory, with both caches primed.
+
+    ``session_class`` selects the session type to instantiate (it must
+    accept the ``(config, options)`` constructor signature) — this is how
+    ``ReproSession.load`` keeps working on subclasses like
+    :class:`~repro.experiments.scenario.PaperScenario`.
+
+    Raises:
+        PersistError: when the directory is not a saved session, the format
+            version is unsupported, a dataset's observation count or header
+            name differs from the manifest, or a report fails signature
+            verification.
+    """
+    from repro.api.session import ReproSession
+
+    if session_class is None:
+        session_class = ReproSession
+    directory = Path(directory)
+    manifest_path = directory / SESSION_MANIFEST
+    if not manifest_path.exists():
+        raise PersistError(f"{directory} is not a saved session (no {SESSION_MANIFEST})")
+    manifest = read_json_document(manifest_path, "session manifest")
+    try:
+        version = manifest["version"]
+        if version != SESSION_FORMAT_VERSION:
+            raise PersistError(f"unsupported session format version {version!r}")
+        config = ScenarioConfig(**manifest["config"])
+        options = IdentifierOptions(**manifest["options"])
+        dataset_entries = manifest["datasets"]
+        report_entries = manifest["reports"]
+    except PersistError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed session manifest {manifest_path}: {exc}") from exc
+    session = session_class(config, options)
+    for entry in dataset_entries:
+        spec = spec_from_document(entry["spec"])
+        try:
+            dataset = load_observations(directory / entry["file"])
+        except PersistError:
+            raise
+        except DatasetError as exc:
+            raise PersistError(f"dataset {entry['file']} is unreadable: {exc}") from exc
+        expected_name = entry.get("name")
+        if expected_name is not None and dataset.name != expected_name:
+            raise PersistError(
+                f"dataset {entry['file']} is named {dataset.name!r}, manifest "
+                f"expects {expected_name!r}; the session was likely torn mid-save"
+            )
+        expected = entry.get("count")
+        if expected is not None and len(dataset) != expected:
+            raise PersistError(
+                f"dataset {entry['file']} holds {len(dataset)} observations, "
+                f"manifest expects {expected}"
+            )
+        session.prime_dataset(spec, dataset)
+    for entry in report_entries:
+        spec = spec_from_document(entry["spec"])
+        document = read_json_document(directory / entry["file"], "report document")
+        expected_signature = entry.get("signature")
+        if (
+            expected_signature is not None
+            and document.get("signature") != expected_signature
+        ):
+            raise PersistError(
+                f"report {entry['file']} does not match the session manifest "
+                f"(manifest {str(expected_signature)[:12]}…, file "
+                f"{str(document.get('signature'))[:12]}…); the session was "
+                "likely torn mid-save"
+            )
+        session.prime_report(spec, entry["name"], report_from_document(document))
+    return session

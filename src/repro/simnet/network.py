@@ -205,6 +205,20 @@ class SimulatedInternet:
         """Forget accumulated per-vantage probe counts (new campaign)."""
         self._probe_counts.clear()
 
+    def export_probe_counts(self) -> dict[tuple[str, int, int], int]:
+        """Copy of the per-(vantage, AS, window) IDS probe counters.
+
+        Campaign checkpoints persist these so a resumed campaign whose next
+        snapshot falls inside an already-probed rate-limit window sees the
+        same IDS state the uninterrupted run would (see
+        :mod:`repro.persist.campaign`).
+        """
+        return dict(self._probe_counts)
+
+    def restore_probe_counts(self, counts: dict[tuple[str, int, int], int]) -> None:
+        """Replace the IDS probe counters (checkpoint resume)."""
+        self._probe_counts = dict(counts)
+
     def _service_answers(
         self, device: Device, service: ServiceType, address: str, now: float
     ) -> bool:

@@ -5,6 +5,7 @@ import pytest
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.errors import DatasetError
 from repro.io.datasets import (
+    DATASET_HEADER_KEY,
     load_alias_sets,
     load_observations,
     observation_from_dict,
@@ -61,6 +62,66 @@ class TestObservationSerialisation:
         with pytest.raises(DatasetError):
             observation_from_dict({"address": "10.0.0.1"})
 
+    def test_string_asn_coerced_to_int(self):
+        record = observation_to_dict(sample_observation())
+        record["asn"] = "64512"
+        loaded = observation_from_dict(record)
+        assert loaded.asn == 64512
+        assert isinstance(loaded.asn, int)
+
+    def test_none_asn_preserved(self):
+        record = observation_to_dict(sample_observation())
+        record["asn"] = None
+        assert observation_from_dict(record).asn is None
+
+    @pytest.mark.parametrize("bad_asn", ["not-a-number", 1.5, 64512.0, True, [64512]])
+    def test_malformed_asn_raises(self, bad_asn):
+        record = observation_to_dict(sample_observation())
+        record["asn"] = bad_asn
+        with pytest.raises(DatasetError):
+            observation_from_dict(record)
+
+    @pytest.mark.parametrize("bad_port", [22.0, "twenty-two", None, False])
+    def test_malformed_port_raises(self, bad_port):
+        record = observation_to_dict(sample_observation())
+        record["port"] = bad_port
+        with pytest.raises(DatasetError):
+            observation_from_dict(record)
+
+    def test_non_string_field_value_raises(self):
+        record = observation_to_dict(sample_observation())
+        record["fields"] = {"hold_time": 180}
+        with pytest.raises(DatasetError):
+            observation_from_dict(record)
+
+    def test_non_dict_fields_raises(self):
+        record = observation_to_dict(sample_observation())
+        record["fields"] = [["banner", "SSH-2.0"]]
+        with pytest.raises(DatasetError):
+            observation_from_dict(record)
+
+    @pytest.mark.parametrize("bad_record", [5, "text", [1, 2], None])
+    def test_non_object_record_raises(self, bad_record):
+        with pytest.raises(DatasetError):
+            observation_from_dict(bad_record)
+
+    @pytest.mark.parametrize("bad_line", ["5", '"text"', "[1, 2]"])
+    def test_non_object_line_raises_dataset_error(self, tmp_path, bad_line):
+        import json
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            bad_line + "\n" + json.dumps(observation_to_dict(sample_observation())) + "\n"
+        )
+        with pytest.raises(DatasetError):
+            load_observations(path)
+
+    def test_exact_roundtrip_identity(self):
+        observation = sample_observation()
+        loaded = observation_from_dict(observation_to_dict(observation))
+        assert loaded == observation
+        assert observation_to_dict(loaded) == observation_to_dict(observation)
+
     def test_dataset_roundtrip(self, tmp_path):
         dataset = ObservationDataset("active", [sample_observation(), sample_observation("10.0.0.2")])
         path = tmp_path / "obs.jsonl"
@@ -69,6 +130,58 @@ class TestObservationSerialisation:
         assert len(loaded) == 2
         assert loaded.addresses() == {"10.0.0.1", "10.0.0.2"}
         assert list(loaded)[0].field("banner") == "SSH-2.0-OpenSSH_9.3"
+
+
+class TestDatasetHeader:
+    def test_renamed_file_keeps_dataset_name(self, tmp_path):
+        dataset = ObservationDataset("active", [sample_observation()])
+        path = tmp_path / "obs.jsonl"
+        save_observations(dataset, path)
+        renamed = tmp_path / "copy-for-archive.jsonl"
+        renamed.write_bytes(path.read_bytes())
+        assert load_observations(renamed).name == "active"
+
+    def test_explicit_name_overrides_header(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        save_observations(ObservationDataset("active", [sample_observation()]), path)
+        assert load_observations(path, name="renamed").name == "renamed"
+
+    def test_headerless_file_falls_back_to_stem(self, tmp_path):
+        import json
+
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(json.dumps(observation_to_dict(sample_observation())) + "\n")
+        loaded = load_observations(path)
+        assert loaded.name == "legacy"
+        assert len(loaded) == 1
+
+    def test_header_not_counted_as_observation(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        count = save_observations(ObservationDataset("active", [sample_observation()]), path)
+        assert count == 1
+        assert len(load_observations(path)) == 1
+
+    def test_unsupported_version_raises(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({DATASET_HEADER_KEY: 999, "name": "x"}) + "\n")
+        with pytest.raises(DatasetError):
+            load_observations(path)
+
+    def test_nameless_header_raises(self, tmp_path):
+        import json
+
+        path = tmp_path / "broken.jsonl"
+        path.write_text(json.dumps({DATASET_HEADER_KEY: 1}) + "\n")
+        with pytest.raises(DatasetError):
+            load_observations(path)
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        # Symmetric with save_alias_sets: both save paths mkdir(parents=True).
+        path = tmp_path / "deeply" / "nested" / "obs.jsonl"
+        assert save_observations(ObservationDataset("active", [sample_observation()]), path) == 1
+        assert load_observations(path).name == "active"
 
 
 class TestAliasSetSerialisation:
@@ -99,3 +212,11 @@ class TestAliasSetSerialisation:
         path.write_text("{}")
         with pytest.raises(DatasetError):
             load_alias_sets(path)
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        collection = AliasSetCollection(
+            "ssh", [AliasSet("id-1", frozenset({"10.0.0.1"}), frozenset({ServiceType.SSH}))]
+        )
+        path = tmp_path / "deeply" / "nested" / "sets.json"
+        save_alias_sets(collection, path)
+        assert load_alias_sets(path).name == "ssh"

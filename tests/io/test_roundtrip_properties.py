@@ -1,0 +1,125 @@
+"""Property tests: dataset and alias-set serialisation is an exact round-trip.
+
+``load(save(dataset)) == dataset`` over hypothesis-generated observations —
+all protocols, arbitrary ports, unicode field values, present and absent
+ASNs and timestamps — and the same for alias-set documents.  This is the
+byte-faithfulness contract the persistence subsystem (:mod:`repro.persist`)
+builds on: a restored session may only produce byte-identical reports if
+the observations underneath round-trip exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aliasset import AliasSet, AliasSetCollection
+from repro.io.datasets import (
+    load_alias_sets,
+    load_observations,
+    observation_from_dict,
+    observation_to_dict,
+    save_alias_sets,
+    save_observations,
+)
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation, ObservationDataset
+
+_ADDRESSES = [f"10.{i}.0.1" for i in range(8)] + [f"2001:db8::{i:x}" for i in range(1, 5)]
+
+#: Unicode-heavy but newline-free text (JSONL records are one line each;
+#: json.dumps escapes everything anyway, so this exercises the worst case).
+_FIELD_TEXT = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=0, max_size=20
+)
+
+_NAMES = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=12
+)
+
+
+@st.composite
+def _observation(draw):
+    fields = draw(
+        st.dictionaries(keys=_FIELD_TEXT.filter(bool), values=_FIELD_TEXT, max_size=4)
+    )
+    return Observation(
+        address=draw(st.sampled_from(_ADDRESSES)),
+        protocol=draw(st.sampled_from(list(ServiceType))),
+        source=draw(st.sampled_from(["active", "censys", "архив", "扫描"])),
+        port=draw(st.integers(min_value=1, max_value=65535)),
+        timestamp=draw(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+        ),
+        asn=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=4_294_967_295))),
+        fields=tuple(sorted(fields.items())),
+    )
+
+
+@st.composite
+def _alias_collection(draw):
+    sets = draw(
+        st.lists(
+            st.builds(
+                AliasSet,
+                identifier=_NAMES,
+                addresses=st.frozensets(st.sampled_from(_ADDRESSES), min_size=1, max_size=5),
+                protocols=st.frozensets(st.sampled_from(list(ServiceType)), min_size=1),
+            ),
+            max_size=6,
+        )
+    )
+    address_asn = draw(
+        st.dictionaries(
+            keys=st.sampled_from(_ADDRESSES),
+            values=st.integers(min_value=1, max_value=65535),
+            max_size=6,
+        )
+    )
+    return AliasSetCollection(draw(_NAMES), sets=sets, address_asn=address_asn)
+
+
+class TestObservationRoundTripProperties:
+    @given(observation=_observation())
+    @settings(max_examples=200, deadline=None)
+    def test_dict_roundtrip_identity(self, observation):
+        assert observation_from_dict(observation_to_dict(observation)) == observation
+
+    @given(
+        observations=st.lists(_observation(), max_size=20),
+        name=_NAMES,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_file_roundtrip_identity(self, tmp_path_factory, observations, name):
+        dataset = ObservationDataset(name, observations)
+        path = tmp_path_factory.mktemp("roundtrip") / "dataset.jsonl"
+        count = save_observations(dataset, path)
+        assert count == len(observations)
+        loaded = load_observations(path)
+        assert loaded.name == dataset.name
+        assert list(loaded) == list(dataset)
+
+    @given(observations=st.lists(_observation(), max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_double_roundtrip_is_stable(self, tmp_path_factory, observations):
+        # load(save(load(save(ds)))) == load(save(ds)): no lossy coercion on
+        # either side of the trip.
+        dataset = ObservationDataset("ds", observations)
+        base = tmp_path_factory.mktemp("stable")
+        save_observations(dataset, base / "one.jsonl")
+        once = load_observations(base / "one.jsonl")
+        save_observations(once, base / "two.jsonl")
+        twice = load_observations(base / "two.jsonl")
+        assert list(twice) == list(once) == list(dataset)
+
+
+class TestAliasSetRoundTripProperties:
+    @given(collection=_alias_collection())
+    @settings(max_examples=50, deadline=None)
+    def test_document_roundtrip(self, tmp_path_factory, collection):
+        path = tmp_path_factory.mktemp("alias") / "sets.json"
+        save_alias_sets(collection, path)
+        loaded = load_alias_sets(path)
+        assert loaded.name == collection.name
+        assert loaded.address_asn == collection.address_asn
+        assert sorted(
+            (s.identifier, s.addresses, s.protocols) for s in loaded
+        ) == sorted((s.identifier, s.addresses, s.protocols) for s in collection)

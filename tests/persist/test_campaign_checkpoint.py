@@ -1,0 +1,250 @@
+"""Campaign checkpoints: stop after snapshot k, resume to k+n, exact parity."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.core.engine import report_signature
+from repro.errors import PersistError
+from repro.net.addresses import AddressFamily
+from repro.persist.campaign import (
+    CHECKPOINT_MANIFEST,
+    CampaignCheckpointer,
+    load_checkpoint,
+    resume_campaign,
+)
+
+_CONFIG = ScenarioConfig(scale=0.05, seed=7)
+_SNAPSHOTS = 4
+_CHURN = 0.05
+
+
+def _campaign(snapshots=_SNAPSHOTS):
+    return ReproSession(_CONFIG).longitudinal(
+        snapshots=snapshots, churn_fraction=_CHURN
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    """The reference: one campaign run start to finish."""
+    return _campaign().run()
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory):
+    """A campaign stopped after two snapshots, checkpointing as it goes."""
+    directory = tmp_path_factory.mktemp("campaign") / "checkpoint"
+    campaign = _campaign(snapshots=2)
+    campaign.run(checkpointer=CampaignCheckpointer(directory, _CONFIG))
+    return directory
+
+
+class TestCheckpointContents:
+    def test_manifest_round_trip(self, checkpoint_dir):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        assert checkpoint.completed == 2
+        assert checkpoint.last_name == "snapshot-1"
+        assert checkpoint.scenario == _CONFIG
+        assert checkpoint.campaign.churn_fraction == _CHURN
+        assert checkpoint.include_ipv6 is True
+        assert len(checkpoint.stability["ipv4"]) == 2
+        assert len(checkpoint.last_observations) > 0
+
+    def test_stability_rows_restore_as_objects(self, checkpoint_dir, uninterrupted):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        restored = checkpoint.stability_rows(AddressFamily.IPV4)
+        reference = [s.stability() for s in uninterrupted.snapshots[:2]]
+        assert restored == reference
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(PersistError, match=CHECKPOINT_MANIFEST):
+            load_checkpoint(tmp_path)
+
+    def test_torn_checkpoint_detected(self, checkpoint_dir, tmp_path):
+        copy = tmp_path / "torn"
+        copy.mkdir()
+        for path in checkpoint_dir.iterdir():
+            (copy / path.name).write_bytes(path.read_bytes())
+        manifest = json.loads((copy / CHECKPOINT_MANIFEST).read_text())
+        manifest["index_signature"] = "0" * 64
+        (copy / CHECKPOINT_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="torn"):
+            load_checkpoint(copy)
+
+
+class TestResumeParity:
+    def test_resumed_matches_uninterrupted_snapshot_for_snapshot(
+        self, checkpoint_dir, uninterrupted
+    ):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        campaign, engine = resume_campaign(checkpoint, snapshots=_SNAPSHOTS)
+        resumed = campaign.run(
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+        assert len(resumed.snapshots) == _SNAPSHOTS - checkpoint.completed
+        for resolved, reference in zip(
+            resumed.snapshots, uninterrupted.snapshots[checkpoint.completed :]
+        ):
+            assert report_signature(resolved.report) == report_signature(
+                reference.report
+            )
+            assert resolved.stability() == reference.stability()
+            assert resolved.stability(AddressFamily.IPV6) == reference.stability(
+                AddressFamily.IPV6
+            )
+
+    def test_resume_continues_checkpointing(self, checkpoint_dir, tmp_path):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        campaign, engine = resume_campaign(checkpoint, snapshots=3)
+        target = tmp_path / "continued"
+        checkpointer = CampaignCheckpointer(
+            target, checkpoint.scenario, prior_stability=checkpoint.stability
+        )
+        campaign.run(
+            checkpointer=checkpointer,
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+        final = load_checkpoint(target)
+        assert final.completed == 3
+        assert len(final.stability["ipv4"]) == 3
+
+    def test_resume_parity_within_one_ids_window(self, tmp_path):
+        """Snapshots closer together than the IDS rate-limit window.
+
+        The per-(vantage, AS, window) probe counters accumulate across
+        same-window snapshots, so they are checkpointed and restored —
+        without that, a resumed network would start the next snapshot with
+        a clean IDS slate and observe different scan responses than the
+        uninterrupted run.
+        """
+        interval = 0.25 * 86400.0  # four snapshots inside one 1-day window
+        config = ScenarioConfig(scale=0.05, seed=3)
+
+        def campaign(horizon):
+            return ReproSession(config).longitudinal(
+                snapshots=horizon, churn_fraction=_CHURN, interval=interval
+            )
+
+        uninterrupted = campaign(2).run()
+        directory = tmp_path / "subwindow"
+        campaign(1).run(checkpointer=CampaignCheckpointer(directory, config))
+        checkpoint = load_checkpoint(directory)
+        assert checkpoint.probe_counts  # same-window counters were persisted
+        resumed_campaign, engine = resume_campaign(checkpoint, snapshots=2)
+        resumed = resumed_campaign.run(
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+        assert list(resumed.snapshots[0].capture.observations) == list(
+            uninterrupted.snapshots[1].capture.observations
+        )
+        assert report_signature(resumed.snapshots[0].report) == report_signature(
+            uninterrupted.snapshots[1].report
+        )
+
+    def test_corrupt_last_snapshot_raises_persist_error(self, checkpoint_dir, tmp_path):
+        copy = tmp_path / "corrupt"
+        copy.mkdir()
+        for path in checkpoint_dir.iterdir():
+            (copy / path.name).write_bytes(path.read_bytes())
+        manifest = json.loads((copy / CHECKPOINT_MANIFEST).read_text())
+        snapshot = copy / manifest["last_snapshot_file"]
+        snapshot.write_text(snapshot.read_text()[:-40])  # truncate mid-record
+        with pytest.raises(PersistError):
+            load_checkpoint(copy)
+
+    def test_crash_mid_save_keeps_previous_checkpoint(
+        self, checkpoint_dir, tmp_path, monkeypatch
+    ):
+        """Data files are versioned; a crash before the manifest replace
+        leaves the previous checkpoint loadable."""
+        copy = tmp_path / "crashy"
+        copy.mkdir()
+        for path in checkpoint_dir.iterdir():
+            (copy / path.name).write_bytes(path.read_bytes())
+        before = load_checkpoint(copy)
+
+        import repro.persist.campaign as campaign_module
+
+        real_write_atomic = campaign_module.write_atomic
+
+        def dying_write_atomic(path, text):
+            if str(path).endswith(CHECKPOINT_MANIFEST):
+                raise OSError("simulated crash before the manifest landed")
+            real_write_atomic(path, text)
+
+        monkeypatch.setattr(campaign_module, "write_atomic", dying_write_atomic)
+        campaign, engine = resume_campaign(before, snapshots=3)
+        checkpointer = CampaignCheckpointer(copy, before.scenario, prior_stability=before.stability)
+        with pytest.raises(OSError, match="simulated crash"):
+            campaign.run(
+                checkpointer=checkpointer,
+                start=before.completed,
+                previous=before.last_observations,
+                engine=engine,
+            )
+        after = load_checkpoint(copy)  # old manifest + old data files intact
+        assert after.completed == before.completed
+        assert after.last_observations == before.last_observations
+
+    def test_resume_below_completed_raises(self, checkpoint_dir):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        with pytest.raises(PersistError, match="already completed"):
+            resume_campaign(checkpoint, snapshots=1)
+
+    def test_resume_with_nothing_to_do(self, checkpoint_dir):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        campaign, engine = resume_campaign(checkpoint)
+        result = campaign.run(
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+        assert result.snapshots == ()
+        assert engine.report is not None
+
+    def test_restored_engine_refuses_bootstrap(self, checkpoint_dir):
+        from repro.errors import DatasetError
+
+        checkpoint = load_checkpoint(checkpoint_dir)
+        _, engine = resume_campaign(checkpoint)
+        with pytest.raises(DatasetError, match="bootstrapped"):
+            engine.bootstrap([])
+
+
+class TestRunInterleaving:
+    def test_run_equals_collect_then_resolve(self, uninterrupted):
+        campaign = _campaign()
+        phased = campaign.resolve(campaign.collect())
+        for resolved, reference in zip(phased.snapshots, uninterrupted.snapshots):
+            assert report_signature(resolved.report) == report_signature(
+                reference.report
+            )
+
+    def test_run_resume_guard(self):
+        from repro.errors import SimulationError
+
+        campaign = _campaign()
+        with pytest.raises(SimulationError, match="restored engine"):
+            campaign.run(start=1)
+
+    def test_collect_resume_guard(self):
+        from repro.errors import SimulationError
+
+        campaign = _campaign()
+        with pytest.raises(SimulationError, match="previous snapshot"):
+            campaign.collect(start=1)
+
+    def test_snapshots_override_recorded_in_manifest(self, checkpoint_dir, tmp_path):
+        checkpoint = load_checkpoint(checkpoint_dir)
+        campaign, engine = resume_campaign(checkpoint, snapshots=3)
+        assert campaign.config == dataclasses.replace(checkpoint.campaign, snapshots=3)

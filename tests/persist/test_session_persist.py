@@ -1,0 +1,261 @@
+"""Session persistence: caches survive across processes, byte-faithfully."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.api.sources import SourceSpec, concat, file_source, union_of
+from repro.core.engine import report_signature
+from repro.core.identifiers import IdentifierOptions
+from repro.errors import PersistError
+from repro.persist.report import (
+    report_from_document,
+    report_signature_digest,
+    report_to_document,
+)
+from repro.persist.session import (
+    SESSION_MANIFEST,
+    load_session,
+    save_session,
+    spec_from_document,
+    spec_to_document,
+)
+
+_CONFIG = ScenarioConfig(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    """One session with warm caches, saved once for the whole module."""
+    session = ReproSession(_CONFIG)
+    session.dataset("censys")
+    session.report("active")
+    directory = tmp_path_factory.mktemp("session") / "saved"
+    save_session(session, directory)
+    return session, directory
+
+
+class TestSpecDocuments:
+    def test_roundtrip_simple(self):
+        spec = SourceSpec.create("active-ipv4", seed_offset=3, start_time=1.5)
+        assert spec_from_document(spec_to_document(spec)) == spec
+
+    def test_roundtrip_nested(self):
+        spec = concat(
+            union_of(SourceSpec(kind="active-ipv4"), SourceSpec(kind="censys-ipv4")),
+            file_source("/data/archive.jsonl", label="archive"),
+            label="combined",
+        )
+        assert spec_from_document(spec_to_document(spec)) == spec
+
+    def test_param_types_survive(self):
+        spec = SourceSpec.create("x", a=True, b=1, c=1.5, d="s")
+        loaded = spec_from_document(json.loads(json.dumps(spec_to_document(spec))))
+        assert loaded == spec
+        assert [type(value) for _, value in loaded.params] == [bool, int, float, str]
+
+
+class TestReportDocuments:
+    def test_roundtrip_signature(self, saved):
+        session, _ = saved
+        report = session.report("active")
+        loaded = report_from_document(
+            json.loads(json.dumps(report_to_document(report)))
+        )
+        assert report_signature(loaded) == report_signature(report)
+        assert report_signature_digest(loaded) == report_signature_digest(report)
+
+    def test_tampered_report_fails_parity(self, saved):
+        session, _ = saved
+        document = report_to_document(session.report("active"))
+        document["name"] = "tampered"
+        with pytest.raises(PersistError, match="parity"):
+            report_from_document(document)
+
+
+class TestSessionRoundTrip:
+    def test_caches_primed(self, saved):
+        session, directory = saved
+        loaded = load_session(directory)
+        assert loaded.config == session.config
+        assert loaded.options == session.options
+        assert set(loaded.cached_datasets()) == set(session.cached_datasets())
+        assert set(loaded.cached_reports()) == set(session.cached_reports())
+
+    def test_datasets_identical(self, saved):
+        session, directory = saved
+        loaded = load_session(directory)
+        for spec, dataset in session.cached_datasets().items():
+            restored = loaded.cached_datasets()[spec]
+            assert restored.name == dataset.name
+            assert list(restored) == list(dataset)
+
+    def test_cached_report_identical_without_rebuild(self, saved):
+        session, directory = saved
+        loaded = load_session(directory)
+        # The loaded session must not re-collect: drop the network so any
+        # rebuild attempt would produce a *different* network object and
+        # (with a different seed) different data. report() must come from
+        # the primed cache alone.
+        report = loaded.report("active")
+        assert report_signature(report) == report_signature(session.report("active"))
+
+    def test_uncached_composition_still_resolves(self, saved):
+        session, directory = saved
+        loaded = load_session(directory)
+        # "censys" resolves over the cached raw dataset through the
+        # standard-ports combinator — collection never re-runs, and the
+        # result matches the live session's.
+        assert report_signature(loaded.report("censys")) == report_signature(
+            session.report("censys")
+        )
+
+    def test_save_via_session_method(self, tmp_path):
+        session = ReproSession(_CONFIG, IdentifierOptions(ssh_include_banner=False))
+        session.save(tmp_path / "s")
+        loaded = ReproSession.load(tmp_path / "s")
+        assert loaded.options == session.options
+
+    def test_subclass_loads_as_itself(self, saved):
+        from repro.experiments.scenario import PaperScenario
+
+        _, directory = saved
+        loaded = PaperScenario.load(directory)
+        assert isinstance(loaded, PaperScenario)
+        # subclass sugar works on the restored caches
+        assert len(loaded.censys_ipv4) > 0
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(PersistError, match=SESSION_MANIFEST):
+            load_session(tmp_path)
+
+    @staticmethod
+    def _copy_session(directory, destination):
+        destination.mkdir()
+        for path in directory.rglob("*"):
+            target = destination / path.relative_to(directory)
+            if path.is_dir():
+                target.mkdir(parents=True, exist_ok=True)
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_bytes(path.read_bytes())
+        return destination
+
+    def test_count_mismatch_raises(self, saved, tmp_path):
+        _, directory = saved
+        copy = self._copy_session(directory, tmp_path / "copy")
+        manifest = json.loads((copy / SESSION_MANIFEST).read_text())
+        manifest["datasets"][0]["count"] += 1
+        (copy / SESSION_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="observations"):
+            load_session(copy)
+
+    def test_dataset_name_mismatch_detected(self, saved, tmp_path):
+        # A torn save pairing an old manifest with a new dataset file: the
+        # file's header name no longer matches the manifest pin.
+        _, directory = saved
+        copy = self._copy_session(directory, tmp_path / "torn-dataset")
+        manifest = json.loads((copy / SESSION_MANIFEST).read_text())
+        manifest["datasets"][0]["name"] = "stale-name"
+        (copy / SESSION_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="torn mid-save"):
+            load_session(copy)
+
+    def test_report_signature_mismatch_detected(self, saved, tmp_path):
+        # A torn save pairing an old manifest with a new report file: the
+        # file is internally consistent, but its signature differs from the
+        # manifest pin.
+        _, directory = saved
+        copy = self._copy_session(directory, tmp_path / "torn-report")
+        manifest = json.loads((copy / SESSION_MANIFEST).read_text())
+        manifest["reports"][0]["signature"] = "0" * 64
+        (copy / SESSION_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="torn mid-save"):
+            load_session(copy)
+
+
+class TestFreshProcessParity:
+    def test_loaded_session_matches_in_fresh_process(self, saved, tmp_path):
+        """Save → load in a *new interpreter* → identical experiment text.
+
+        The scale-1.0 variant of this check is the persistence benchmark;
+        here a small scenario proves the cross-process contract in the
+        test suite.
+        """
+        session, directory = saved
+        rendered = session.run_experiment("table3")
+        signature = report_signature_digest(session.report("active"))
+        script = tmp_path / "replay.py"
+        script.write_text(
+            "import sys, json\n"
+            "from repro.api.session import ReproSession\n"
+            "from repro.persist.report import report_signature_digest\n"
+            "session = ReproSession.load(sys.argv[1])\n"
+            "print(json.dumps({\n"
+            "    'table3': session.run_experiment('table3'),\n"
+            "    'signature': report_signature_digest(session.report('active')),\n"
+            "}))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, str(script), str(directory)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src")},
+        )
+        payload = json.loads(result.stdout)
+        assert payload["table3"] == rendered
+        assert payload["signature"] == signature
+
+
+class TestFileSourceKind:
+    def test_file_spec_loads_dataset(self, saved):
+        session, directory = saved
+        # any saved dataset file works; take the first manifest entry
+        manifest = json.loads((directory / SESSION_MANIFEST).read_text())
+        entry = manifest["datasets"][0]
+        fresh = ReproSession(_CONFIG)
+        dataset = fresh.dataset(file_source(directory / entry["file"]))
+        original = session.cached_datasets()[spec_from_document(entry["spec"])]
+        assert dataset.name == original.name
+        assert list(dataset) == list(original)
+
+    def test_label_overrides_header_name(self, saved):
+        _, directory = saved
+        manifest = json.loads((directory / SESSION_MANIFEST).read_text())
+        entry = manifest["datasets"][0]
+        fresh = ReproSession(_CONFIG)
+        dataset = fresh.dataset(file_source(directory / entry["file"], label="renamed"))
+        assert dataset.name == "renamed"
+
+    def test_file_source_composes_with_live_sources(self, saved):
+        session, directory = saved
+        manifest = json.loads((directory / SESSION_MANIFEST).read_text())
+        by_kind = {
+            spec_from_document(entry["spec"]).kind: entry for entry in manifest["datasets"]
+        }
+        censys_entry = by_kind["censys-ipv4"]
+        fresh = ReproSession(_CONFIG)
+        composed = union_of(
+            SourceSpec(kind="active-ipv4"),
+            file_source(directory / censys_entry["file"]),
+            label="union",
+        )
+        live = union_of(
+            SourceSpec(kind="active-ipv4"), SourceSpec(kind="censys-ipv4"), label="union"
+        )
+        assert report_signature(fresh.report(composed, name="u")) == report_signature(
+            session.report(live, name="u")
+        )
+
+    def test_missing_path_param_raises(self):
+        from repro.errors import DatasetError
+
+        fresh = ReproSession(_CONFIG)
+        with pytest.raises(DatasetError, match="path"):
+            fresh.dataset(SourceSpec(kind="file"))

@@ -15,7 +15,8 @@ class TestScanAndResolve:
         assert exit_code == 0
         assert (tmp_path / "active.jsonl").exists()
         assert (tmp_path / "censys.jsonl").exists()
-        first_line = (tmp_path / "active.jsonl").read_text().splitlines()[0]
+        header_line, first_line = (tmp_path / "active.jsonl").read_text().splitlines()[:2]
+        assert json.loads(header_line)["name"] == "active"
         record = json.loads(first_line)
         assert {"address", "protocol", "fields"} <= set(record)
 
@@ -99,6 +100,18 @@ class TestCliErrorPaths:
         exit_code = main(["experiments", "--scale", "0.1", "--only", "table99"])
         assert exit_code == 2
         assert "unknown experiment 'table99'" in capsys.readouterr().err
+
+    def test_resolve_missing_dataset_exits_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            ["resolve", str(tmp_path / "absent.jsonl"), "--output", str(tmp_path / "o")]
+        )
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_longitudinal_rejects_zero_snapshots(self, capsys):
+        exit_code = main(["longitudinal", "--scale", "0.05", "--snapshots", "0"])
+        assert exit_code == 2
+        assert "at least one snapshot" in capsys.readouterr().err
 
     def test_resolve_rejects_invalid_workers(self, tmp_path, capsys):
         exit_code = main(
@@ -190,6 +203,118 @@ class TestLongitudinal:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "IPv6 union" not in output
+
+    def test_longitudinal_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "checkpoint"
+        base = ["longitudinal", "--scale", "0.05", "--seed", "3", "--churn", "0.05"]
+        assert main(base + ["--snapshots", "2", "--checkpoint", str(checkpoint)]) == 0
+        assert (checkpoint / "checkpoint.json").exists()
+        capsys.readouterr()
+
+        # Resume to 3 snapshots; the combined table covers all of them.
+        exit_code = main(
+            ["longitudinal", "--resume", str(checkpoint), "--snapshots", "3",
+             "--output", str(tmp_path / "out")]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "resuming after snapshot 1 (2/3 snapshots completed)" in output
+        assert "resumed 1 snapshots" in output
+        assert "Longitudinal stability (IPv4 union, 3 snapshots" in output
+        markdown = (tmp_path / "out" / "stability.md").read_text()
+        assert markdown.startswith("# Longitudinal stability report")
+        # The checkpoint advanced in place.
+        assert json.loads((checkpoint / "checkpoint.json").read_text())["completed"] == 3
+
+    def test_longitudinal_resume_missing_checkpoint(self, capsys, tmp_path):
+        exit_code = main(["longitudinal", "--resume", str(tmp_path / "absent")])
+        assert exit_code == 2
+        assert "not a campaign checkpoint" in capsys.readouterr().err
+
+    def test_longitudinal_resume_corrupt_snapshot_exits_cleanly(self, capsys, tmp_path):
+        checkpoint = tmp_path / "checkpoint"
+        assert main(
+            ["longitudinal", "--scale", "0.05", "--snapshots", "2", "--ipv4-only",
+             "--checkpoint", str(checkpoint)]
+        ) == 0
+        capsys.readouterr()
+        manifest = json.loads((checkpoint / "checkpoint.json").read_text())
+        snapshot = checkpoint / manifest["last_snapshot_file"]
+        snapshot.write_text(snapshot.read_text()[:-40])  # bit-rot / torn copy
+        exit_code = main(["longitudinal", "--resume", str(checkpoint)])
+        assert exit_code == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_longitudinal_resume_cannot_shrink(self, capsys, tmp_path):
+        checkpoint = tmp_path / "checkpoint"
+        assert main(
+            ["longitudinal", "--scale", "0.05", "--snapshots", "2", "--ipv4-only",
+             "--checkpoint", str(checkpoint)]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["longitudinal", "--resume", str(checkpoint), "--snapshots", "1"]
+        )
+        assert exit_code == 2
+        assert "already completed" in capsys.readouterr().err
+
+
+class TestSession:
+    def test_session_save_then_load(self, capsys, tmp_path):
+        directory = tmp_path / "session"
+        exit_code = main(
+            ["session", "save", str(directory), "--scale", "0.05", "--seed", "3",
+             "--reports", "active"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "resolved active" in output
+        assert "saved session" in output
+        assert (directory / "session.json").exists()
+
+        exit_code = main(["session", "load", str(directory)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "loaded session" in output
+        assert "report active" in output
+
+    def test_session_load_renders_experiments(self, capsys, tmp_path):
+        directory = tmp_path / "session"
+        assert main(
+            ["session", "save", str(directory), "--scale", "0.05", "--seed", "3",
+             "--reports", "active", "censys", "union"]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["session", "load", str(directory), "--experiments", "table3"]
+        )
+        assert exit_code == 0
+        assert "=== table3" in capsys.readouterr().out
+
+    def test_session_save_unknown_report(self, capsys, tmp_path):
+        exit_code = main(
+            ["session", "save", str(tmp_path / "s"), "--scale", "0.05",
+             "--reports", "nonsense"]
+        )
+        assert exit_code == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_session_load_missing_directory(self, capsys, tmp_path):
+        exit_code = main(["session", "load", str(tmp_path / "absent")])
+        assert exit_code == 2
+        assert "not a saved session" in capsys.readouterr().err
+
+    def test_session_load_unknown_experiment(self, capsys, tmp_path):
+        directory = tmp_path / "session"
+        assert main(
+            ["session", "save", str(directory), "--scale", "0.05", "--reports"]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["session", "load", str(directory), "--experiments", "nonsense"]
+        )
+        assert exit_code == 2
+        assert "nonsense" in capsys.readouterr().err
 
 
 class TestParser:
