@@ -10,6 +10,8 @@ These are the building blocks of the paper's evaluation section:
 * :mod:`repro.analysis.report` — an end-to-end markdown report generator.
 * :mod:`repro.analysis.stability` — longitudinal per-snapshot stability
   tables (set persistence and churn-attributed splits).
+* :mod:`repro.analysis.validation` — validator summary tables and the
+  per-snapshot MIDAR-disagreement series.
 """
 
 from repro.analysis.aslevel import multi_as_fraction, role_split, top_as_table
@@ -17,6 +19,11 @@ from repro.analysis.ecdf import Ecdf
 from repro.analysis.setstats import set_size_summary
 from repro.analysis.stability import stability_markdown, stability_rows, stability_table
 from repro.analysis.tables import format_count, render_table
+from repro.analysis.validation import (
+    snapshot_validation_table,
+    validation_markdown,
+    validation_table,
+)
 
 __all__ = [
     "multi_as_fraction",
@@ -29,4 +36,7 @@ __all__ = [
     "stability_markdown",
     "stability_rows",
     "stability_table",
+    "snapshot_validation_table",
+    "validation_markdown",
+    "validation_table",
 ]

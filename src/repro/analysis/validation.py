@@ -1,0 +1,125 @@
+"""Rendering of validation reports.
+
+Turns :class:`~repro.validation.report.ValidationReport` objects into the
+summary table the ``repro validate`` CLI subcommand prints — one row per
+validator with the paper's two headline validation quantities (testable
+coverage and agreement) plus the probe accounting that makes shared-bank
+savings visible — and per-snapshot tables for the longitudinal
+MIDAR-disagreement series (:mod:`repro.validation.longitudinal`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.tables import render_table
+from repro.validation.longitudinal import SnapshotValidation
+from repro.validation.report import ValidationReport
+
+_HEADERS = [
+    "Validator",
+    "Sets",
+    "Testable",
+    "Coverage",
+    "Agree",
+    "Disagree",
+    "Agreement",
+    "Probes",
+    "Reused",
+]
+
+_SNAPSHOT_HEADERS = [
+    "Snapshot",
+    "Day",
+    "Probed",
+    "Sets",
+    "Testable",
+    "Coverage",
+    "Agree",
+    "Disagree",
+    "Agreement",
+    "Probes",
+    "Reused",
+]
+
+
+def validation_rows(reports: Iterable[ValidationReport]) -> list[list[object]]:
+    """One summary row per validation report."""
+    return [
+        [
+            report.validator,
+            report.candidates,
+            report.testable_count,
+            f"{100 * report.testable_coverage:.1f}%",
+            report.agree_count,
+            report.disagree_count,
+            f"{100 * report.agreement_rate:.1f}%",
+            report.probes_issued,
+            report.probes_reused,
+        ]
+        for report in reports
+    ]
+
+
+def validation_table(
+    reports: Sequence[ValidationReport], title: str = "Validation summary"
+) -> str:
+    """Render validation reports as one aligned plain-text table."""
+    return render_table(_HEADERS, validation_rows(reports), title=title)
+
+
+def snapshot_validation_rows(rows: Iterable[SnapshotValidation]) -> list[list[object]]:
+    """One row per validated campaign snapshot."""
+    return [
+        [
+            row.snapshot,
+            f"{row.time / 86400:.0f}",
+            f"{row.probed_at / 86400:.0f}",
+            row.report.candidates,
+            row.report.testable_count,
+            f"{100 * row.report.testable_coverage:.1f}%",
+            row.report.agree_count,
+            row.report.disagree_count,
+            f"{100 * row.report.agreement_rate:.1f}%",
+            row.report.probes_issued,
+            row.report.probes_reused,
+        ]
+        for row in rows
+    ]
+
+
+def snapshot_validation_table(
+    rows: Sequence[SnapshotValidation], validator: str
+) -> str:
+    """Render a per-snapshot validation series as plain text.
+
+    The disagreement column over the snapshots is the paper's
+    MIDAR-disagreement mechanism as a measured series: each snapshot's
+    sets are probed one churn interval after their scan, so sets holding a
+    churned address split under IPID corroboration.
+    """
+    title = f"Per-snapshot validation ({validator}, probed one interval after each scan)"
+    return render_table(_SNAPSHOT_HEADERS, snapshot_validation_rows(rows), title=title)
+
+
+def validation_markdown(
+    reports: Sequence[ValidationReport],
+    snapshot_series: dict[str, Sequence[SnapshotValidation]] | None = None,
+) -> str:
+    """Render validations (and optional snapshot series) as markdown."""
+    lines = ["# Validation report", ""]
+    if reports:
+        lines.append("| " + " | ".join(_HEADERS) + " |")
+        lines.append("|" + "---|" * len(_HEADERS))
+        for row in validation_rows(reports):
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        lines.append("")
+    for validator, rows in (snapshot_series or {}).items():
+        lines.append(f"## Per-snapshot validation: {validator}")
+        lines.append("")
+        lines.append("| " + " | ".join(_SNAPSHOT_HEADERS) + " |")
+        lines.append("|" + "---|" * len(_SNAPSHOT_HEADERS))
+        for row in snapshot_validation_rows(rows):
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        lines.append("")
+    return "\n".join(lines)

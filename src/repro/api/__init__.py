@@ -20,6 +20,11 @@ Submodules:
   runner and the CLI.
 * :mod:`repro.api.session` — the :class:`ReproSession` facade tying it all
   together.
+
+The validation subsystem (:mod:`repro.validation`) mirrors the source
+registry — declarative :class:`ValidatorSpec` trees resolved through
+``validator_kind``/``register_validator`` — and its main entry points are
+re-exported here next to their source-side counterparts.
 """
 
 from repro.api.config import ScenarioConfig
@@ -46,10 +51,34 @@ from repro.api.sources import (
     standard_ports,
     union_of,
 )
+#: Validation-subsystem names re-exported lazily (PEP 562):
+#: :mod:`repro.validation` itself imports :mod:`repro.api.registry`, so an
+#: eager import here would close an import cycle.
+_VALIDATION_EXPORTS = frozenset(
+    {
+        "IpidSampleBank",
+        "ValidationReport",
+        "ValidatorSpec",
+        "VALIDATOR_KINDS",
+        "VALIDATORS",
+        "named_validator",
+        "register_validator",
+        "validator_kind",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _VALIDATION_EXPORTS:
+        import repro.validation
+
+        return getattr(repro.validation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Coverage",
     "Experiment",
+    "IpidSampleBank",
     "PlanResult",
     "Registry",
     "RegistryEntry",
@@ -59,6 +88,10 @@ __all__ = [
     "SourceSpec",
     "SOURCE_KINDS",
     "SOURCES",
+    "VALIDATOR_KINDS",
+    "VALIDATORS",
+    "ValidationReport",
+    "ValidatorSpec",
     "VantageSpec",
     "build_index_parallel",
     "concat",
@@ -67,12 +100,15 @@ __all__ = [
     "experiment_names",
     "get_experiment",
     "named_source",
+    "named_validator",
     "register_experiment",
     "register_source",
+    "register_validator",
     "repro_session",
     "resolve_parallel",
     "shard_observations",
     "source_kind",
     "standard_ports",
     "union_of",
+    "validator_kind",
 ]

@@ -23,7 +23,7 @@ this class (see :mod:`repro.experiments.scenario`).
 from __future__ import annotations
 
 import functools
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.api.parallel import resolve_parallel
 from repro.api.plan import PlanResult, ScanPlan, run_scan_plan
@@ -46,6 +46,11 @@ from repro.sources.records import Observation, ObservationDataset, iter_observat
 
 from repro.api.config import ScenarioConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.validation.report import ValidationReport
+    from repro.validation.runner import ValidationRun
+    from repro.validation.spec import ValidatorSpec
+
 
 class ReproSession:
     """Shared state, caches, and registry-driven composition."""
@@ -61,6 +66,8 @@ class ReproSession:
         self._hitlist: list[str] | None = None
         self._datasets: dict[SourceSpec, ObservationDataset] = {}
         self._reports: dict[tuple[SourceSpec, str], AliasReport] = {}
+        self._validations: dict[tuple["ValidatorSpec", str], "ValidationReport"] = {}
+        self._validation_run: "ValidationRun | None" = None
 
     # ------------------------------------------------------------------ #
     # Shared measurement state
@@ -195,6 +202,48 @@ class ReproSession:
         return run_scan_plan(self, plan or ScanPlan.default())
 
     # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    @property
+    def validation_run(self) -> "ValidationRun":
+        """The shared validation state: one sample bank per vantage.
+
+        Built once per session, so successive :meth:`validate` calls share
+        collected IPID series — a composed ``validate("midar")`` +
+        ``validate("ally")`` issues roughly half the probes of two
+        independent prober runs.
+        """
+        if self._validation_run is None:
+            from repro.validation.runner import ValidationRun
+
+            self._validation_run = ValidationRun(self.network, session=self)
+        return self._validation_run
+
+    def validate(
+        self, validator: "str | ValidatorSpec", name: str | None = None
+    ) -> "ValidationReport":
+        """Run one validator composition (cached per spec).
+
+        ``validator`` is a registered name (``"midar"``, ``"ally"``, …) or
+        an explicit :class:`~repro.validation.spec.ValidatorSpec`.  Like
+        datasets and reports, results cache under the spec: the Table 2
+        experiment and a later ``validate("midar")`` share one run.
+        Validations probe the live network sequentially (IPID counters are
+        stateful), so a cached report reflects the session state at the
+        time it first ran — exactly like a real measurement campaign.
+        """
+        from repro.validation.runner import run_validator
+        from repro.validation.spec import VALIDATORS, ValidatorSpec, display_name
+
+        spec = validator if isinstance(validator, ValidatorSpec) else VALIDATORS.get(validator)
+        if name is None:
+            name = validator if isinstance(validator, str) else display_name(spec)
+        key = (spec, name)
+        if key not in self._validations:
+            self._validations[key] = run_validator(self.validation_run, spec)
+        return self._validations[key]
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def cached_datasets(self) -> dict[SourceSpec, ObservationDataset]:
@@ -205,6 +254,10 @@ class ReproSession:
         """The report cache, keyed by (spec, name) (shared reference, read-only)."""
         return self._reports
 
+    def cached_validations(self) -> dict[tuple["ValidatorSpec", str], "ValidationReport"]:
+        """The validation cache, keyed by (spec, name) (shared reference, read-only)."""
+        return self._validations
+
     def prime_dataset(self, spec: SourceSpec, dataset: ObservationDataset) -> None:
         """Seed the dataset cache (used by :mod:`repro.persist` on load)."""
         self._datasets[spec] = dataset
@@ -212,6 +265,12 @@ class ReproSession:
     def prime_report(self, spec: SourceSpec, name: str, report: AliasReport) -> None:
         """Seed the report cache (used by :mod:`repro.persist` on load)."""
         self._reports[(spec, name)] = report
+
+    def prime_validation(
+        self, spec: "ValidatorSpec", name: str, report: "ValidationReport"
+    ) -> None:
+        """Seed the validation cache (used by :mod:`repro.persist` on load)."""
+        self._validations[(spec, name)] = report
 
     def save(self, directory) -> "ReproSession":
         """Persist this session's configuration and caches to ``directory``.

@@ -1,18 +1,23 @@
-"""Ally: the original pairwise IPID alias test (Rocketfuel).
+"""Ally: the original pairwise IPID alias test (shim over :mod:`repro.validation`).
 
 Ally probes two candidate addresses alternately a handful of times and
-declares them aliases when the observed IPIDs interleave into one in-order,
-closely spaced sequence.  It is the per-pair ancestor of MIDAR's pipeline
-and is included as the cheaper, noisier baseline.
+declares them aliases when the observed IPIDs interleave into one
+in-order, closely spaced sequence.  The probing loop now lives in
+:class:`repro.validation.techniques.AllyPipeline` (where it can reuse
+series another validator already banked); :class:`AllyProber` keeps the
+classic self-contained interface over a private bank with reuse disabled,
+which reproduces the pre-refactor prober byte for byte.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.baselines.ipid import collect_interleaved, shared_counter_test
-from repro.core.alias_resolution import UnionFind
 from repro.simnet.network import SimulatedInternet, VantagePoint
+from repro.validation.bank import IpidSampleBank
+from repro.validation.techniques import AllyPipeline
+
+__all__ = ["AllyProber", "AllyVerdict"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,29 +41,29 @@ class AllyProber:
         interval: float = 0.5,
         max_velocity: float = 2_000.0,
     ) -> None:
-        self._network = network
         self._vantage = vantage or VantagePoint(name="ally-vp", address="192.0.2.252")
-        self._rounds = rounds
-        self._interval = interval
-        self._max_velocity = max_velocity
+        self._pipeline = AllyPipeline(
+            IpidSampleBank(network, self._vantage),
+            rounds=rounds,
+            interval=interval,
+            max_velocity=max_velocity,
+            reuse=False,
+        )
+
+    @property
+    def bank(self) -> IpidSampleBank:
+        """The prober's private sample bank (probe accounting lives here)."""
+        return self._pipeline.bank
 
     def test_pair(self, left: str, right: str, start_time: float = 0.0) -> AllyVerdict:
         """Test whether ``left`` and ``right`` appear to share an IPID counter."""
-        series = collect_interleaved(
-            self._network,
-            [left, right],
-            self._vantage,
-            rounds=self._rounds,
-            interval=self._interval,
-            start_time=start_time,
+        result = self._pipeline.test_pair(left, right, start_time=start_time)
+        return AllyVerdict(
+            left=left,
+            right=right,
+            responded=result.responded,
+            aliases=result.aliases,
         )
-        left_samples = series[left].samples
-        right_samples = series[right].samples
-        if len(left_samples) < 2 or len(right_samples) < 2:
-            return AllyVerdict(left=left, right=right, responded=False, aliases=False)
-        merged = left_samples + right_samples
-        aliases = shared_counter_test(merged, max_velocity=self._max_velocity)
-        return AllyVerdict(left=left, right=right, responded=True, aliases=aliases)
 
     def resolve(self, addresses: list[str], start_time: float = 0.0) -> list[frozenset[str]]:
         """Group ``addresses`` into alias sets by exhaustive pairwise testing.
@@ -66,17 +71,5 @@ class AllyProber:
         Quadratic in the number of addresses — usable only for small target
         lists, which is precisely Ally's historical limitation.
         """
-        union_find = UnionFind()
-        for address in addresses:
-            union_find.add(address)
-
-        now = start_time
-        for index, left in enumerate(addresses):
-            for right in addresses[index + 1 :]:
-                if union_find.find(left) == union_find.find(right):
-                    continue
-                verdict = self.test_pair(left, right, start_time=now)
-                now += 2 * self._rounds * self._interval
-                if verdict.aliases:
-                    union_find.union(left, right)
-        return [frozenset(group) for group in union_find.groups()]
+        groups, _ = self._pipeline.resolve(addresses, start_time=start_time)
+        return groups

@@ -50,8 +50,12 @@ class IpidTimeSeries:
     def velocity(self) -> float | None:
         """Estimated counter velocity in increments per second.
 
-        Uses the unwrapped first-to-last difference.  ``None`` when fewer
-        than two samples are available.
+        Sums the forward (mod 2**16) differences of consecutive samples and
+        divides by the elapsed time, so each wrap between observations adds
+        one full modulus to the distance travelled — unlike a bare
+        first-to-last difference, which would alias every whole wrap away.
+        ``None`` when fewer than two samples are available or no time
+        elapsed.
         """
         if len(self.samples) < 2:
             return None

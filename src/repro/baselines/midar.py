@@ -1,83 +1,42 @@
-"""MIDAR-style IPID alias verification.
+"""MIDAR-style IPID alias verification (shim over :mod:`repro.validation`).
 
 MIDAR (Keys et al., ToN 2013) resolves aliases at Internet scale with a
-multi-stage IPID pipeline.  The reproduction implements the three stages the
-paper's validation relies on, at candidate-set granularity:
+multi-stage IPID pipeline.  The pipeline itself now lives in
+:class:`repro.validation.techniques.MidarPipeline`, where it collects
+through a shared :class:`~repro.validation.bank.IpidSampleBank` so
+composed validations can reuse its series; :class:`MidarProber` survives
+as the classic self-contained interface — it runs the pipeline over a
+private bank, which over a cold bank issues exactly the probes the
+pre-refactor prober issued.
 
-1. **Estimation** — probe every member of a candidate set individually and
-   classify its IPID behaviour (usable / unresponsive / non-monotonic / too
-   fast).
-2. **Elimination** — only members with compatible velocities remain
-   candidates for pairwise testing.
-3. **Corroboration** — interleaved probing of each remaining pair, twice,
-   with the monotonic bounds test applied to the merged sequence; both
-   passes must succeed.
-
-The output per input set is a :class:`MidarSetVerdict`: whether the set was
-testable at all (≥2 usable members), the partition MIDAR would produce over
-the usable members, and whether that partition keeps the candidate set
-together.  The paper reports that only 13% of sampled sets are testable and
-that 96% of those agree with the SSH-derived sets; both numbers are emergent
-here from the device IPID-behaviour mix and churn.
+The output per input set is a :class:`MidarSetVerdict`: whether the set
+was testable at all (≥2 usable members), the partition MIDAR would produce
+over the usable members, and whether that partition keeps the candidate
+set together.  The paper reports that only 13% of sampled sets are
+testable and that 96% of those agree with the SSH-derived sets; both
+numbers are emergent here from the device IPID-behaviour mix and churn.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Iterable, Sequence
 
-from repro.baselines.ipid import (
-    TargetClass,
-    classify_series,
-    collect_interleaved,
-    collect_series,
-    shared_counter_test,
-)
-from repro.core.alias_resolution import UnionFind
+from repro.baselines.ipid import TargetClass
 from repro.simnet.network import SimulatedInternet, VantagePoint
+from repro.validation.bank import IpidSampleBank
+from repro.validation.techniques import MidarConfig, MidarPipeline, MidarSetVerdict
 
-
-@dataclasses.dataclass(frozen=True)
-class MidarConfig:
-    """Probing parameters for the MIDAR pipeline."""
-
-    estimation_samples: int = 8
-    estimation_interval: float = 2.0
-    corroboration_rounds: int = 6
-    corroboration_interval: float = 1.0
-    corroboration_passes: int = 2
-    min_responses: int = 3
-    max_velocity: float = 2_000.0
-    velocity_ratio_bound: float = 20.0
-    max_set_size: int = 10
-
-
-@dataclasses.dataclass
-class MidarSetVerdict:
-    """MIDAR's verdict on one candidate alias set.
-
-    Attributes:
-        candidate: the input set.
-        target_classes: per-address estimation-stage classification.
-        testable: whether at least two members were usable.
-        partition: the partition of the usable members produced by pairwise
-            corroboration (empty when not testable).
-        agrees: whether the partition keeps all usable members in one group,
-            i.e. MIDAR confirms the candidate set.
-        started_at / finished_at: simulation time window of the probing.
-    """
-
-    candidate: frozenset[str]
-    target_classes: dict[str, TargetClass]
-    testable: bool
-    partition: list[frozenset[str]]
-    agrees: bool
-    started_at: float
-    finished_at: float
+__all__ = ["MidarConfig", "MidarProber", "MidarSetVerdict"]
 
 
 class MidarProber:
-    """Runs the MIDAR pipeline against the simulated Internet."""
+    """Runs the MIDAR pipeline against the simulated Internet.
+
+    A thin shim over :class:`~repro.validation.techniques.MidarPipeline`
+    with a private sample bank; prefer ``session.validate("midar")`` (or a
+    custom :class:`~repro.validation.spec.ValidatorSpec`) for anything that
+    composes with other validators.
+    """
 
     def __init__(
         self,
@@ -87,106 +46,29 @@ class MidarProber:
     ) -> None:
         self._network = network
         self._vantage = vantage or VantagePoint(name="midar-vp", address="192.0.2.251")
-        self._config = config or MidarConfig()
+        self._pipeline = MidarPipeline(
+            IpidSampleBank(network, self._vantage), config or MidarConfig()
+        )
 
     @property
     def config(self) -> MidarConfig:
         """The probing configuration in use."""
-        return self._config
+        return self._pipeline.config
 
-    # ------------------------------------------------------------------ #
-    # Stage 1: estimation
-    # ------------------------------------------------------------------ #
-    def estimate(self, addresses: Sequence[str], start_time: float) -> tuple[dict[str, TargetClass], dict[str, float], float]:
+    @property
+    def bank(self) -> IpidSampleBank:
+        """The prober's private sample bank (probe accounting lives here)."""
+        return self._pipeline.bank
+
+    def estimate(
+        self, addresses: Sequence[str], start_time: float
+    ) -> tuple[dict[str, TargetClass], dict[str, float], float]:
         """Classify every address; returns (classes, velocities, end_time)."""
-        config = self._config
-        classes: dict[str, TargetClass] = {}
-        velocities: dict[str, float] = {}
-        now = start_time
-        for address in addresses:
-            series = collect_series(
-                self._network,
-                address,
-                self._vantage,
-                samples=config.estimation_samples,
-                interval=config.estimation_interval,
-                start_time=now,
-            )
-            now += config.estimation_samples * config.estimation_interval
-            classes[address] = classify_series(
-                series, min_responses=config.min_responses, max_velocity=config.max_velocity
-            )
-            velocity = series.velocity()
-            if velocity is not None:
-                velocities[address] = velocity
-        return classes, velocities, now
-
-    # ------------------------------------------------------------------ #
-    # Stage 2 + 3: elimination and corroboration
-    # ------------------------------------------------------------------ #
-    def _velocity_compatible(self, left: float, right: float) -> bool:
-        low, high = sorted((max(left, 0.1), max(right, 0.1)))
-        return high / low <= self._config.velocity_ratio_bound
-
-    def _pair_shares_counter(self, left: str, right: str, start_time: float) -> tuple[bool, float]:
-        """Run the interleaved corroboration passes for one pair."""
-        config = self._config
-        now = start_time
-        for _ in range(config.corroboration_passes):
-            series = collect_interleaved(
-                self._network,
-                [left, right],
-                self._vantage,
-                rounds=config.corroboration_rounds,
-                interval=config.corroboration_interval,
-                start_time=now,
-            )
-            now += 2 * config.corroboration_rounds * config.corroboration_interval
-            merged = series[left].samples + series[right].samples
-            if len(series[left].samples) < config.min_responses or len(series[right].samples) < config.min_responses:
-                return False, now
-            if not shared_counter_test(merged, max_velocity=config.max_velocity):
-                return False, now
-        return True, now
+        return self._pipeline.estimate(addresses, start_time)
 
     def verify_set(self, candidate: Iterable[str], start_time: float = 0.0) -> MidarSetVerdict:
         """Run the full pipeline on one candidate alias set."""
-        members = sorted(candidate)[: self._config.max_set_size]
-        classes, velocities, now = self.estimate(members, start_time)
-        usable = [address for address in members if classes[address] is TargetClass.USABLE]
-        if len(usable) < 2:
-            return MidarSetVerdict(
-                candidate=frozenset(members),
-                target_classes=classes,
-                testable=False,
-                partition=[],
-                agrees=False,
-                started_at=start_time,
-                finished_at=now,
-            )
-        # Pairwise corroboration over velocity-compatible pairs.
-        union_find = UnionFind()
-        for address in usable:
-            union_find.add(address)
-
-        for index, left in enumerate(usable):
-            for right in usable[index + 1 :]:
-                if not self._velocity_compatible(velocities.get(left, 0.1), velocities.get(right, 0.1)):
-                    continue
-                shares, now = self._pair_shares_counter(left, right, now)
-                if shares:
-                    union_find.union(left, right)
-        partition = [frozenset(group) for group in union_find.groups()]
-        agrees = len(partition) == 1
-        return MidarSetVerdict(
-            candidate=frozenset(members),
-            target_classes=classes,
-            testable=True,
-            partition=partition,
-            agrees=agrees,
-            started_at=start_time,
-            finished_at=now,
-        )
+        return self._pipeline.verify_set(candidate, start_time=start_time)
 
     def verify_sets(
         self, candidates: Iterable[Iterable[str]], start_time: float = 0.0
@@ -197,10 +79,4 @@ class MidarProber:
         sets to more churn — the effect the paper blames for part of its
         SSH/MIDAR disagreement.
         """
-        verdicts = []
-        now = start_time
-        for candidate in candidates:
-            verdict = self.verify_set(candidate, start_time=now)
-            verdicts.append(verdict)
-            now = verdict.finished_at
-        return verdicts
+        return self._pipeline.verify_sets(candidates, start_time=start_time)

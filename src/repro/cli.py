@@ -18,9 +18,14 @@ The CLI mirrors how the paper's artifacts would be used in practice:
   stability tables (``--checkpoint`` persists a resumable state after every
   snapshot; ``--resume`` continues an interrupted campaign in a new
   process, snapshot-for-snapshot identical to the uninterrupted run).
+* ``repro validate`` — run registered validator compositions (MIDAR, Ally,
+  Speedtrap, iffinder, PTR — ``--list-validators`` enumerates the
+  registry) against the session's alias sets, sharing one IPID sample
+  bank; ``--snapshots N`` instead validates every snapshot of a churning
+  longitudinal campaign (the paper's MIDAR-disagreement series).
 * ``repro session save`` / ``repro session load`` — persist a measurement
-  session (datasets, resolved reports, configuration) and restore it in
-  another process with both caches warm.
+  session (datasets, resolved reports, validations, configuration) and
+  restore it in another process with its caches warm.
 
 The subcommands are built on the session API (:mod:`repro.api`): sources
 and experiments resolve through registries, so registering a new source or
@@ -46,6 +51,11 @@ from repro.analysis.stability import (
     stability_table,
     stability_table_from,
 )
+from repro.analysis.validation import (
+    snapshot_validation_table,
+    validation_markdown,
+    validation_table,
+)
 from repro.api.experiments import all_experiments, get_experiment
 from repro.api.parallel import resolve_parallel
 from repro.api.plan import ScanPlan
@@ -59,6 +69,9 @@ from repro.io.datasets import load_observations, save_alias_sets, save_observati
 from repro.net.addresses import AddressFamily
 from repro.persist.campaign import CampaignCheckpointer, load_checkpoint, resume_campaign
 from repro.sources.records import iter_observations
+from repro.validation.longitudinal import validate_snapshots
+from repro.validation.runner import ValidationRun
+from repro.validation.spec import VALIDATORS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +191,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="resume the campaign checkpointed in DIR (ignores --scale/--seed/"
         "--churn/--interval-days/--ipv4-only: they come from the checkpoint)",
+    )
+    longitudinal.add_argument(
+        "--keep",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retain the newest N snapshot checkpoints in the checkpoint "
+        "directory, pruning older ones (default 1)",
+    )
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="run registered validators against the session's alias sets",
+    )
+    validate.add_argument("--scale", type=float, default=1.0)
+    validate.add_argument("--seed", type=int, default=42)
+    validate.add_argument(
+        "--validators",
+        nargs="*",
+        default=["midar"],
+        metavar="NAME",
+        help="registered validators to run, in order — later ones reuse the "
+        "shared IPID sample bank (default: midar; see --list-validators)",
+    )
+    validate.add_argument(
+        "--list-validators",
+        action="store_true",
+        help="list the registered validators and exit",
+    )
+    validate.add_argument(
+        "--snapshots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="validate every snapshot of an N-snapshot churning campaign "
+        "instead of the single-shot session (the MIDAR-disagreement series)",
+    )
+    validate.add_argument(
+        "--churn",
+        type=float,
+        default=0.02,
+        help="campaign churn fraction for --snapshots mode (default 0.02)",
+    )
+    validate.add_argument(
+        "--interval-days",
+        type=float,
+        default=7.0,
+        help="simulated days between campaign snapshots (default 7)",
+    )
+    validate.add_argument(
+        "--ipv4-only",
+        action="store_true",
+        help="skip the IPv6 hitlist scans in --snapshots mode",
+    )
+    validate.add_argument(
+        "--output", type=Path, default=None, help="optional directory for validation.md"
     )
 
     session = subparsers.add_parser(
@@ -356,6 +425,9 @@ def _write_stability_markdown(output: Path | None, markdown: str) -> None:
 
 
 def _command_longitudinal(args: argparse.Namespace) -> int:
+    if args.keep < 1:
+        print("--keep must retain at least one snapshot checkpoint", file=sys.stderr)
+        return 2
     if args.resume is not None:
         return _longitudinal_resume(args)
     snapshots = args.snapshots if args.snapshots is not None else 4
@@ -371,7 +443,7 @@ def _command_longitudinal(args: argparse.Namespace) -> int:
     )
     checkpointer = None
     if args.checkpoint is not None:
-        checkpointer = CampaignCheckpointer(args.checkpoint, session.config)
+        checkpointer = CampaignCheckpointer(args.checkpoint, session.config, keep=args.keep)
     result = campaign.run(checkpointer=checkpointer)
     print(stability_table(result, AddressFamily.IPV4))
     if not args.ipv4_only:
@@ -405,7 +477,10 @@ def _longitudinal_resume(args: argparse.Namespace) -> int:
     )
     checkpoint_dir = args.checkpoint if args.checkpoint is not None else args.resume
     checkpointer = CampaignCheckpointer(
-        checkpoint_dir, checkpoint.scenario, prior_stability=checkpoint.stability
+        checkpoint_dir,
+        checkpoint.scenario,
+        prior_stability=checkpoint.stability,
+        keep=args.keep,
     )
     result = campaign.run(
         checkpointer=checkpointer,
@@ -434,6 +509,71 @@ def _longitudinal_resume(args: argparse.Namespace) -> int:
     )
     print(f"final IPv4 non-singleton union sets: {len(final.ipv4_union.non_singleton())}")
     _write_stability_markdown(args.output, stability_markdown_from(combined))
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    if args.list_validators:
+        for entry in VALIDATORS:
+            print(f"{entry.name:12} {entry.description}")
+        return 0
+    if not args.validators:
+        print("no validators requested: pass --validators with at least one "
+              "name (see repro validate --list-validators)", file=sys.stderr)
+        return 2
+    try:
+        names = [(name, VALIDATORS.get(name)) for name in args.validators]
+    except RegistryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    session = _session(args)
+    if args.snapshots is not None:
+        return _validate_snapshots(args, session, names)
+    reports = [session.validate(name) for name, _ in names]
+    print(validation_table(reports))
+    print()
+    total_issued = sum(report.probes_issued for report in reports)
+    total_reused = sum(report.probes_reused for report in reports)
+    print(
+        f"issued {total_issued} IPID probes; answered {total_reused} probes "
+        "from the shared sample bank"
+    )
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+        path = args.output / "validation.md"
+        path.write_text(validation_markdown(reports))
+        print(f"wrote {path}")
+    return 0
+
+
+def _validate_snapshots(args: argparse.Namespace, session, names) -> int:
+    """The longitudinal mode: validate every snapshot of a churning campaign."""
+    if args.snapshots < 1:
+        print("a campaign needs at least one snapshot", file=sys.stderr)
+        return 2
+    campaign = session.longitudinal(
+        snapshots=args.snapshots,
+        churn_fraction=args.churn,
+        interval=args.interval_days * 86400.0,
+        include_ipv6=not args.ipv4_only,
+    )
+    result = campaign.run()
+    # One shared run across validators: later ones answer pair tests from
+    # the banks the earlier ones filled, exactly like single-shot mode.
+    shared_run = ValidationRun(campaign.network)
+    series = {}
+    for position, (name, spec) in enumerate(names):
+        if position:
+            print()
+        rows = validate_snapshots(campaign, result, spec, run=shared_run)
+        series[name] = rows
+        print(snapshot_validation_table(rows, name))
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+        path = args.output / "validation.md"
+        path.write_text(validation_markdown([], snapshot_series=series))
+        print()
+        print(f"wrote {path}")
     return 0
 
 
@@ -476,10 +616,12 @@ def _session_load(args: argparse.Namespace) -> int:
     config = session.config
     datasets = session.cached_datasets()
     reports = session.cached_reports()
+    validations = session.cached_validations()
     print(
         f"loaded session from {args.directory} "
         f"(scale {config.scale}, seed {config.seed}: "
-        f"{len(datasets)} datasets, {len(reports)} reports)"
+        f"{len(datasets)} datasets, {len(reports)} reports, "
+        f"{len(validations)} validations)"
     )
     for dataset in datasets.values():
         print(f"  dataset {dataset.name}: {len(dataset)} observations")
@@ -487,6 +629,11 @@ def _session_load(args: argparse.Namespace) -> int:
         print(
             f"  report {name}: "
             f"{len(report.ipv4_union.non_singleton())} IPv4 non-singleton sets"
+        )
+    for (_, name), validation in validations.items():
+        print(
+            f"  validation {name}: {validation.testable_count}/{validation.candidates} "
+            f"testable, {validation.agree_count} agree"
         )
     if args.experiments is not None:
         try:
@@ -515,6 +662,7 @@ _COMMANDS = {
     "claims": _command_claims,
     "plan": _command_plan,
     "longitudinal": _command_longitudinal,
+    "validate": _command_validate,
     "session": _command_session,
 }
 

@@ -3,23 +3,25 @@
 Cross-protocol validation compares the alias sets produced by two protocols
 over the addresses responsive to both; the MIDAR row validates a random
 sample of SSH-derived sets (at most ten IPv4 addresses each) against the
-IPID-based baseline.  Besides the paper's three columns (sample size, agree,
-disagree) the result records MIDAR's coverage — the fraction of sampled sets
-MIDAR could test at all, which the paper reports as 13% in the text.
+IPID-based baseline — expressed declaratively as
+``sample(midar(...), size, seed, max_size=10)`` and run through
+``session.validate`` (:mod:`repro.validation`), so the run is cached,
+persistable, and shares its IPID sample bank with any other validator the
+session composes.  Besides the paper's three columns (sample size, agree,
+disagree) the result records MIDAR's coverage — the fraction of sampled
+sets MIDAR could test at all, which the paper reports as 13% in the text.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import random
 
 from repro.analysis.tables import format_count, render_table
-from repro.baselines.midar import MidarProber
 from repro.core.validation import cross_validate
 from repro.api.experiments import experiment
 from repro.api.session import ReproSession
 from repro.simnet.device import ServiceType
-from repro.simnet.network import VantagePoint
+from repro.validation.runner import table2_midar_spec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,31 +83,23 @@ def build(
             ValidationRow(pair=pair, sample_size=result.sample_size, agree=result.agree, disagree=result.disagree)
         )
 
-    # SSH vs MIDAR: sample non-singleton SSH sets with at most ten addresses.
-    rng = random.Random(midar_seed)
-    candidates = [
-        alias_set.addresses
-        for alias_set in ssh.non_singleton()
-        if len(alias_set.addresses) <= 10
-    ]
-    sample = rng.sample(candidates, min(midar_sample_size, len(candidates)))
-    prober = MidarProber(session.network, VantagePoint(name="midar-vp", address="192.0.2.251"))
-    # A MIDAR run takes weeks; start it right after the active campaign and
-    # let the per-set probing times accumulate.
-    ipv6_times = [observation.timestamp for observation in session.dataset("active-ipv6")]
-    midar_start = max(ipv6_times) + 3600.0 if ipv6_times else 0.0
-    verdicts = prober.verify_sets(sample, start_time=midar_start)
-    testable = [verdict for verdict in verdicts if verdict.testable]
-    agree = sum(1 for verdict in testable if verdict.agrees)
+    # SSH vs MIDAR: a random sample of non-singleton SSH sets (at most ten
+    # addresses each), probed right after the active campaign — the sampling,
+    # schedule and pipeline all live in the registered validator composition.
+    validation = session.validate(table2_midar_spec(size=midar_sample_size, seed=midar_seed))
     rows.append(
         ValidationRow(
             pair="SSH-MIDAR",
-            sample_size=len(testable),
-            agree=agree,
-            disagree=len(testable) - agree,
+            sample_size=validation.testable_count,
+            agree=validation.agree_count,
+            disagree=validation.disagree_count,
         )
     )
-    return Table2Result(rows=rows, midar_sampled_sets=len(sample), midar_testable_sets=len(testable))
+    return Table2Result(
+        rows=rows,
+        midar_sampled_sets=validation.candidates,
+        midar_testable_sets=validation.testable_count,
+    )
 
 
 def render(result: Table2Result) -> str:

@@ -11,8 +11,11 @@ the byte-faithful observation round-trip of :mod:`repro.io`:
 * :mod:`repro.persist.report` — full :class:`~repro.core.engine.AliasReport`
   documents, signature-verified on load.
 * :mod:`repro.persist.session` — ``ReproSession.save(dir)`` /
-  ``ReproSession.load(dir)``: configuration plus the dataset and report
-  caches, so a session survives across processes.
+  ``ReproSession.load(dir)``: configuration plus the dataset, report and
+  validation caches, so a session survives across processes.
+* :mod:`repro.persist.validation` — :class:`~repro.validation.report.
+  ValidationReport` documents (per-set verdicts plus the declarative
+  validator spec), signature-verified on load.
 * :mod:`repro.persist.campaign` — longitudinal campaign checkpoints:
   stop after snapshot *k*, resume to *k+n* with incremental
   re-resolution intact (``repro longitudinal --checkpoint/--resume``).
@@ -44,6 +47,13 @@ from repro.persist.session import (
     spec_from_document,
     spec_to_document,
 )
+from repro.persist.validation import (
+    validation_from_document,
+    validation_signature_digest,
+    validation_to_document,
+    validator_spec_from_document,
+    validator_spec_to_document,
+)
 
 __all__ = [
     "CampaignCheckpointer",
@@ -60,4 +70,9 @@ __all__ = [
     "spec_from_document",
     "spec_to_document",
     "state_signature_digest",
+    "validation_from_document",
+    "validation_signature_digest",
+    "validation_to_document",
+    "validator_spec_from_document",
+    "validator_spec_to_document",
 ]

@@ -77,6 +77,12 @@ class CampaignCheckpointer:
     it overwrites the checkpoint directory with a consistent state after
     each snapshot, accumulating the stability rows of every snapshot seen
     (including, on resume, the rows a loaded checkpoint already carried).
+
+    ``keep`` rotates the per-snapshot data files: the newest ``keep``
+    snapshots' index/observation files survive each save, older ones are
+    pruned (the manifest always points at the newest, which is what a
+    resume loads; retaining more than one keeps a fallback generation
+    around if the latest files are damaged after the fact).
     """
 
     def __init__(
@@ -84,9 +90,13 @@ class CampaignCheckpointer:
         directory: str | Path,
         scenario: ScenarioConfig,
         prior_stability: dict[str, list[dict]] | None = None,
+        keep: int = 1,
     ) -> None:
+        if keep < 1:
+            raise PersistError("a checkpointer must keep at least one snapshot")
         self.directory = Path(directory)
         self.scenario = scenario
+        self.keep = keep
         self._stability: dict[str, list[dict]] = {
             tag: list((prior_stability or {}).get(tag, ())) for tag in _FAMILY_TAGS.values()
         }
@@ -144,15 +154,43 @@ class CampaignCheckpointer:
                 )
             ],
             "stability": self._stability,
+            "retained": self._retained_numbers(directory, completed),
         }
         # The manifest lands last: whatever it describes is already on disk.
         write_atomic(directory / CHECKPOINT_MANIFEST, json.dumps(manifest, indent=2))
-        for stale in directory.glob("index-*.json"):
-            if stale.name != index_file:
-                stale.unlink(missing_ok=True)
-        for stale in directory.glob("snapshot-*.jsonl"):
-            if stale.name != snapshot_file:
-                stale.unlink(missing_ok=True)
+        retained = set(manifest["retained"])
+        for pattern in ("index-*.json", "snapshot-*.jsonl"):
+            for stale in directory.glob(pattern):
+                number = _snapshot_number(stale.name)
+                if number is not None and number not in retained:
+                    stale.unlink(missing_ok=True)
+
+    def _retained_numbers(self, directory: Path, completed: int) -> list[int]:
+        """The newest ``keep`` snapshot numbers up to the current save.
+
+        Numbers above ``completed`` are never retained: they are leftovers
+        of an older, unrelated campaign in a reused directory, and letting
+        them outrank the freshly written files would evict the checkpoint
+        the manifest is about to reference.
+        """
+        numbers = {
+            number
+            for pattern in ("index-*.json", "snapshot-*.jsonl")
+            for path in directory.glob(pattern)
+            if (number := _snapshot_number(path.name)) is not None
+            and number <= completed
+        }
+        numbers.add(completed)
+        return sorted(numbers)[-self.keep :]
+
+
+def _snapshot_number(file_name: str) -> int | None:
+    """The NNNN of an ``index-NNNN.json``/``snapshot-NNNN.jsonl`` name."""
+    stem = file_name.rsplit(".", 1)[0]
+    prefix, _, suffix = stem.partition("-")
+    if prefix not in ("index", "snapshot") or not suffix.isdigit():
+        return None
+    return int(suffix)
 
 
 @dataclasses.dataclass(frozen=True)

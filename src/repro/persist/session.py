@@ -10,6 +10,8 @@ A saved session is a directory:
   byte-faithful observation round-trip of :mod:`repro.io.datasets`).
 * ``reports/NNN.json`` — one document per cached report
   (:mod:`repro.persist.report`), signature-verified on load.
+* ``validations/NNN.json`` — one document per cached validation report
+  (:mod:`repro.persist.validation`), signature-verified on load.
 
 ``load_session`` rebuilds the session with both caches primed: a source
 that was collected before the save never re-runs, and a report that was
@@ -36,6 +38,12 @@ from repro.persist.files import (
     write_atomic,
 )
 from repro.persist.report import report_from_document, report_to_document
+from repro.persist.validation import (
+    validation_from_document,
+    validation_to_document,
+    validator_spec_from_document,
+    validator_spec_to_document,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.api.session import ReproSession
@@ -113,12 +121,28 @@ def save_session(session: "ReproSession", directory: str | Path) -> Path:
                 "signature": document["signature"],
             }
         )
+    validation_entries = []
+    for position, ((spec, name), validation) in enumerate(
+        session.cached_validations().items()
+    ):
+        relative = f"validations/{position:03d}.json"
+        document = validation_to_document(validation)
+        write_atomic(directory / relative, json.dumps(document))
+        validation_entries.append(
+            {
+                "spec": validator_spec_to_document(spec),
+                "name": name,
+                "file": relative,
+                "signature": document["signature"],
+            }
+        )
     manifest = {
         "version": SESSION_FORMAT_VERSION,
         "config": dataclasses.asdict(session.config),
         "options": dataclasses.asdict(session.options),
         "datasets": dataset_entries,
         "reports": report_entries,
+        "validations": validation_entries,
     }
     write_atomic(directory / SESSION_MANIFEST, json.dumps(manifest, indent=2))
     return directory
@@ -157,6 +181,8 @@ def load_session(
         options = IdentifierOptions(**manifest["options"])
         dataset_entries = manifest["datasets"]
         report_entries = manifest["reports"]
+        # Absent in pre-validation-subsystem sessions; they load fine.
+        validation_entries = manifest.get("validations", [])
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -198,4 +224,19 @@ def load_session(
                 "likely torn mid-save"
             )
         session.prime_report(spec, entry["name"], report_from_document(document))
+    for entry in validation_entries:
+        spec = validator_spec_from_document(entry["spec"])
+        document = read_json_document(directory / entry["file"], "validation document")
+        expected_signature = entry.get("signature")
+        if (
+            expected_signature is not None
+            and document.get("signature") != expected_signature
+        ):
+            raise PersistError(
+                f"validation {entry['file']} does not match the session manifest "
+                f"(manifest {str(expected_signature)[:12]}…, file "
+                f"{str(document.get('signature'))[:12]}…); the session was "
+                "likely torn mid-save"
+            )
+        session.prime_validation(spec, entry["name"], validation_from_document(document))
     return session

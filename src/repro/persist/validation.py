@@ -1,0 +1,141 @@
+"""Serialisation of :class:`~repro.validation.report.ValidationReport` objects.
+
+A validation document carries the declarative
+:class:`~repro.validation.spec.ValidatorSpec` tree the report was built
+from, every per-set verdict (candidate, partition, diagnostic classes,
+probing window) and the probe accounting.  Each document embeds a SHA-256
+digest of the report's canonical content, recomputed and verified on load
+— the same discipline as :mod:`repro.persist.report` — so a corrupted or
+hand-edited validation file cannot silently skew a restored session's
+Table 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import PersistError
+from repro.validation.report import SetVerdict, ValidationReport
+from repro.validation.spec import ValidatorSpec
+
+#: Current validation document format version.
+VALIDATION_FORMAT_VERSION = 1
+
+
+def validator_spec_to_document(spec: ValidatorSpec) -> dict:
+    """Render a validator spec tree as a JSON-serialisable document."""
+    return {
+        "kind": spec.kind,
+        "params": [[key, value] for key, value in spec.params],
+        "inputs": [validator_spec_to_document(input_spec) for input_spec in spec.inputs],
+        "label": spec.label,
+    }
+
+
+def validator_spec_from_document(document: dict) -> ValidatorSpec:
+    """Rebuild a validator spec tree from its document form."""
+    try:
+        return ValidatorSpec(
+            kind=document["kind"],
+            params=tuple((key, value) for key, value in document.get("params", [])),
+            inputs=tuple(
+                validator_spec_from_document(entry) for entry in document.get("inputs", [])
+            ),
+            label=document.get("label"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed validator spec document: {document!r}") from exc
+
+
+def _verdict_to_document(verdict: SetVerdict) -> dict:
+    return {
+        "candidate": sorted(verdict.candidate),
+        "testable": verdict.testable,
+        "agrees": verdict.agrees,
+        "partition": [sorted(group) for group in verdict.partition],
+        "classes": [[address, label] for address, label in verdict.classes],
+        "started_at": verdict.started_at,
+        "finished_at": verdict.finished_at,
+    }
+
+
+def _verdict_from_document(document: dict) -> SetVerdict:
+    return SetVerdict(
+        candidate=frozenset(document["candidate"]),
+        testable=bool(document["testable"]),
+        agrees=bool(document["agrees"]),
+        partition=tuple(frozenset(group) for group in document["partition"]),
+        classes=tuple((address, label) for address, label in document["classes"]),
+        started_at=float(document["started_at"]),
+        finished_at=float(document["finished_at"]),
+    )
+
+
+def _canonical_content(report: ValidationReport) -> dict:
+    """The signed content: everything except the spec (pinned separately)."""
+    return {
+        "validator": report.validator,
+        "candidates": report.candidates,
+        "verdicts": [_verdict_to_document(verdict) for verdict in report.verdicts],
+        "probes_issued": report.probes_issued,
+        "probes_reused": report.probes_reused,
+        "started_at": report.started_at,
+        "finished_at": report.finished_at,
+    }
+
+
+def validation_signature_digest(report: ValidationReport) -> str:
+    """SHA-256 over the canonical JSON rendering of a validation report."""
+    encoded = json.dumps(_canonical_content(report), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def validation_to_document(report: ValidationReport) -> dict:
+    """Render a validation report as a JSON-serialisable document.
+
+    The embedded ``signature`` digest covers the report contents, not the
+    document bytes, so it verifies the reconstructed object on load.
+    """
+    document = _canonical_content(report)
+    document["version"] = VALIDATION_FORMAT_VERSION
+    document["spec"] = validator_spec_to_document(report.spec)
+    document["signature"] = validation_signature_digest(report)
+    return document
+
+
+def validation_from_document(document: dict) -> ValidationReport:
+    """Rebuild a validation report, asserting signature parity.
+
+    Raises:
+        PersistError: on an unsupported version, a malformed document, or a
+            restored report whose signature differs from the saved digest.
+    """
+    try:
+        version = document["version"]
+        if version != VALIDATION_FORMAT_VERSION:
+            raise PersistError(f"unsupported validation document version {version!r}")
+        report = ValidationReport(
+            validator=document["validator"],
+            spec=validator_spec_from_document(document["spec"]),
+            candidates=int(document["candidates"]),
+            verdicts=tuple(
+                _verdict_from_document(entry) for entry in document["verdicts"]
+            ),
+            probes_issued=int(document["probes_issued"]),
+            probes_reused=int(document["probes_reused"]),
+            started_at=float(document["started_at"]),
+            finished_at=float(document["finished_at"]),
+        )
+        expected = document["signature"]
+    except PersistError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise PersistError(f"malformed validation document: {exc}") from exc
+    actual = validation_signature_digest(report)
+    if actual != expected:
+        raise PersistError(
+            "validation document failed signature parity on load "
+            f"(saved {str(expected)[:12]}…, restored {actual[:12]}…)"
+        )
+    return report

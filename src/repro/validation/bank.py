@@ -1,0 +1,146 @@
+"""The shared IPID sample bank.
+
+MIDAR, Ally and Speedtrap all reduce to the same primitive: collect an IPID
+time series from a target on some probing schedule and reason about the
+merged sequences.  Before this module each technique probed the simulated
+Internet on its own, so validating one candidate set with two techniques
+paid for two full probing campaigns against the same targets.
+
+:class:`IpidSampleBank` collects each series **once per (addresses,
+schedule)** and shares it across validators: a composed validation (e.g.
+MIDAR followed by Ally over the same sampled sets, see
+:mod:`repro.validation.runner`) answers the second technique's sample
+requests from the bank instead of the network, cutting the probe count —
+``benchmarks/bench_validation.py`` asserts the reduction with verdict
+parity.
+
+The bank is a pure memoisation layer: a cold bank issues exactly the calls
+:func:`~repro.baselines.ipid.collect_series` /
+:func:`~repro.baselines.ipid.collect_interleaved` would, in the same order,
+so single-technique runs (and the ``MidarProber``/``AllyProber`` shims
+built on private banks) behave byte-for-byte like the pre-bank probers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.ipid import IpidTimeSeries, collect_interleaved, collect_series
+from repro.simnet.network import SimulatedInternet, VantagePoint
+
+#: Memoisation key of one collected series or interleaved collection.
+ScheduleKey = tuple
+
+
+class IpidSampleBank:
+    """Collect IPID time series once per (addresses, schedule) and share them.
+
+    One bank wraps one (network, vantage) pair — samples taken from
+    different vantage points see different loss and rate-limit state, so
+    they must not be conflated.  Cached series are treated as immutable.
+    """
+
+    def __init__(self, network: SimulatedInternet, vantage: VantagePoint) -> None:
+        self._network = network
+        self._vantage = vantage
+        self._series: dict[ScheduleKey, IpidTimeSeries] = {}
+        self._interleaved: dict[ScheduleKey, dict[str, IpidTimeSeries]] = {}
+        #: unordered pair -> key of the latest interleaved collection that
+        #: probed both addresses together (schedule-agnostic pair reuse).
+        self._pairs: dict[frozenset[str], ScheduleKey] = {}
+        self._probes_issued = 0
+        self._probes_reused = 0
+
+    @property
+    def network(self) -> SimulatedInternet:
+        """The network the bank probes."""
+        return self._network
+
+    @property
+    def vantage(self) -> VantagePoint:
+        """The vantage point every collection probes from."""
+        return self._vantage
+
+    @property
+    def probes_issued(self) -> int:
+        """Probes actually sent to the network (responses and timeouts)."""
+        return self._probes_issued
+
+    @property
+    def probes_reused(self) -> int:
+        """Probes answered from the bank instead of the network."""
+        return self._probes_reused
+
+    def series(
+        self, address: str, samples: int, interval: float, start_time: float
+    ) -> IpidTimeSeries:
+        """One address probed ``samples`` times (MIDAR's estimation stage)."""
+        key = ("series", address, samples, interval, start_time)
+        cached = self._series.get(key)
+        if cached is not None:
+            self._probes_reused += samples
+            return cached
+        collected = collect_series(
+            self._network,
+            address,
+            self._vantage,
+            samples=samples,
+            interval=interval,
+            start_time=start_time,
+        )
+        self._probes_issued += samples
+        self._series[key] = collected
+        return collected
+
+    def interleaved(
+        self,
+        addresses: Sequence[str],
+        rounds: int,
+        interval: float,
+        start_time: float,
+    ) -> dict[str, IpidTimeSeries]:
+        """A round-robin interleaved collection over ``addresses``."""
+        members = tuple(addresses)
+        key = ("interleaved", members, rounds, interval, start_time)
+        cached = self._interleaved.get(key)
+        if cached is not None:
+            self._probes_reused += rounds * len(members)
+            return cached
+        collected = collect_interleaved(
+            self._network,
+            list(members),
+            self._vantage,
+            rounds=rounds,
+            interval=interval,
+            start_time=start_time,
+        )
+        self._probes_issued += rounds * len(members)
+        self._interleaved[key] = collected
+        for position, left in enumerate(members):
+            for right in members[position + 1 :]:
+                self._pairs[frozenset((left, right))] = key
+        return collected
+
+    def cached_interleaved(
+        self, left: str, right: str, requested_probes: int | None = None
+    ) -> dict[str, IpidTimeSeries] | None:
+        """Any banked interleaved collection that probed both addresses.
+
+        Schedule-agnostic: this is how a second technique (Ally) reuses the
+        series a first one (MIDAR corroboration) already paid for.  Returns
+        the most recently collected match, or ``None``.
+
+        ``requested_probes`` is what the caller's own schedule would have
+        issued for this pair — the quantity a hit adds to
+        :attr:`probes_reused`, keeping the counter's meaning ("probes not
+        sent thanks to the bank") consistent with the exact-key paths.  It
+        defaults to the banked collection's own probe slots for the pair.
+        """
+        key = self._pairs.get(frozenset((left, right)))
+        if key is None:
+            return None
+        if requested_probes is None:
+            banked_rounds = key[2]
+            requested_probes = 2 * banked_rounds
+        self._probes_reused += requested_probes
+        return self._interleaved[key]

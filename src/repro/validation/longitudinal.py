@@ -1,0 +1,88 @@
+"""Per-snapshot validation of longitudinal campaigns.
+
+The paper attributes part of its SSH/MIDAR disagreement to the three-week
+MIDAR run itself: addresses that moved between devices after the scan but
+before (or during) the IPID probing split under corroboration even though
+the identifier evidence was correct when collected.  This module makes
+that mechanism measurable on the registry: take a finished
+:class:`~repro.longitudinal.campaign.CampaignResult`, and for every
+snapshot re-run one registered validator over that snapshot's
+index-derived sets — probing at ``snapshot time + probe_lag``, which
+defaults to the campaign interval, i.e. right before the *next* snapshot's
+scan.  Addresses churned mid-interval answer IPID probes from their new
+device, so the per-snapshot disagreement series exposes exactly the
+paper's churn-driven MIDAR-disagreement effect.
+
+All snapshots share one :class:`~repro.validation.runner.ValidationRun`
+(and therefore one sample bank per vantage), so composed validators keep
+their probe sharing across the whole series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.longitudinal.campaign import CampaignResult, LongitudinalCampaign
+from repro.validation.report import ValidationReport
+from repro.validation.runner import ValidationRun, candidate_sets, run_validator
+from repro.validation.spec import ValidatorSpec, named_validator
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotValidation:
+    """One snapshot's validation: when it was scanned, probed, and judged."""
+
+    snapshot: int
+    time: float
+    probed_at: float
+    report: ValidationReport
+
+
+def validate_snapshots(
+    campaign: LongitudinalCampaign,
+    result: CampaignResult,
+    validator: str | ValidatorSpec = "midar",
+    probe_lag: float | None = None,
+    run: ValidationRun | None = None,
+) -> list[SnapshotValidation]:
+    """Run one validator over every snapshot's index-derived sets.
+
+    Args:
+        campaign: the campaign that produced ``result`` (its network — with
+            all injected churn — is what gets probed).
+        result: the resolved campaign.
+        validator: a registered validator name or an explicit spec; its
+            leaf's ``protocol``/``family`` parameters select which of each
+            snapshot's collections provides the candidate sets.
+        probe_lag: simulated seconds between a snapshot's scan and its
+            validation probing.  Defaults to the campaign interval — the
+            probing lands right before the next scan, after the
+            mid-interval churn switch, which is what surfaces the paper's
+            MIDAR-disagreement mechanism.
+        run: the shared probing state.  Pass the same
+            :class:`~repro.validation.runner.ValidationRun` (over
+            ``campaign.network``) across several ``validate_snapshots``
+            calls so later validators reuse the banked series of earlier
+            ones; by default each call builds a fresh run.
+    """
+    spec = validator if isinstance(validator, ValidatorSpec) else named_validator(validator)
+    lag = probe_lag if probe_lag is not None else campaign.config.interval
+    if run is None:
+        run = ValidationRun(campaign.network)
+    leaf = spec.leaf()
+    rows: list[SnapshotValidation] = []
+    for resolved in result.snapshots:
+        capture = resolved.capture
+        candidates = candidate_sets(resolved.report, leaf)
+        report = run_validator(
+            run, spec, candidates=candidates, start_time=capture.time + lag
+        )
+        rows.append(
+            SnapshotValidation(
+                snapshot=capture.index,
+                time=capture.time,
+                probed_at=capture.time + lag,
+                report=report,
+            )
+        )
+    return rows

@@ -1,0 +1,384 @@
+"""IPID technique pipelines over a shared sample bank.
+
+The MIDAR estimation → elimination → corroboration pipeline and the
+pairwise Ally test used to live inside ``repro.baselines`` as self-probing
+classes.  They are now engines over an :class:`~repro.validation.bank.
+IpidSampleBank`, which is what lets composed validations share collected
+series; the old ``MidarProber`` / ``AllyProber`` classes survive as thin
+shims that run a pipeline over a private bank (see
+:mod:`repro.baselines.midar` and :mod:`repro.baselines.ally`).
+
+Over a cold bank the pipelines issue exactly the probes the pre-refactor
+probers issued, in the same order — ``bench_validation.py`` holds Table 2
+to byte parity on that guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.baselines.ipid import (
+    TargetClass,
+    classify_series,
+    shared_counter_test,
+)
+from repro.core.alias_resolution import UnionFind
+from repro.validation.bank import IpidSampleBank
+
+
+@dataclasses.dataclass(frozen=True)
+class MidarConfig:
+    """Probing parameters for the MIDAR pipeline."""
+
+    estimation_samples: int = 8
+    estimation_interval: float = 2.0
+    corroboration_rounds: int = 6
+    corroboration_interval: float = 1.0
+    corroboration_passes: int = 2
+    min_responses: int = 3
+    max_velocity: float = 2_000.0
+    velocity_ratio_bound: float = 20.0
+    max_set_size: int = 10
+
+
+@dataclasses.dataclass
+class MidarSetVerdict:
+    """MIDAR's verdict on one candidate alias set.
+
+    Attributes:
+        candidate: the input set.
+        target_classes: per-address estimation-stage classification.
+        testable: whether at least two members were usable.
+        partition: the partition of the usable members produced by pairwise
+            corroboration (empty when not testable).
+        agrees: whether the partition keeps all usable members in one group,
+            i.e. MIDAR confirms the candidate set.
+        started_at / finished_at: simulation time window of the probing.
+    """
+
+    candidate: frozenset[str]
+    target_classes: dict[str, TargetClass]
+    testable: bool
+    partition: list[frozenset[str]]
+    agrees: bool
+    started_at: float
+    finished_at: float
+
+
+class MidarPipeline:
+    """The MIDAR estimation/elimination/corroboration stages over a bank."""
+
+    def __init__(self, bank: IpidSampleBank, config: MidarConfig | None = None) -> None:
+        self._bank = bank
+        self._config = config or MidarConfig()
+
+    @property
+    def bank(self) -> IpidSampleBank:
+        """The sample bank the pipeline collects through."""
+        return self._bank
+
+    @property
+    def config(self) -> MidarConfig:
+        """The probing configuration in use."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: estimation
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self, addresses: Sequence[str], start_time: float
+    ) -> tuple[dict[str, TargetClass], dict[str, float], float]:
+        """Classify every address; returns (classes, velocities, end_time)."""
+        config = self._config
+        classes: dict[str, TargetClass] = {}
+        velocities: dict[str, float] = {}
+        now = start_time
+        for address in addresses:
+            series = self._bank.series(
+                address,
+                samples=config.estimation_samples,
+                interval=config.estimation_interval,
+                start_time=now,
+            )
+            now += config.estimation_samples * config.estimation_interval
+            classes[address] = classify_series(
+                series, min_responses=config.min_responses, max_velocity=config.max_velocity
+            )
+            velocity = series.velocity()
+            if velocity is not None:
+                velocities[address] = velocity
+        return classes, velocities, now
+
+    # ------------------------------------------------------------------ #
+    # Stage 2 + 3: elimination and corroboration
+    # ------------------------------------------------------------------ #
+    def _velocity_compatible(self, left: float, right: float) -> bool:
+        low, high = sorted((max(left, 0.1), max(right, 0.1)))
+        return high / low <= self._config.velocity_ratio_bound
+
+    def _pair_shares_counter(self, left: str, right: str, start_time: float) -> tuple[bool, float]:
+        """Run the interleaved corroboration passes for one pair."""
+        config = self._config
+        now = start_time
+        for _ in range(config.corroboration_passes):
+            series = self._bank.interleaved(
+                (left, right),
+                rounds=config.corroboration_rounds,
+                interval=config.corroboration_interval,
+                start_time=now,
+            )
+            now += 2 * config.corroboration_rounds * config.corroboration_interval
+            merged = series[left].samples + series[right].samples
+            if len(series[left].samples) < config.min_responses or len(series[right].samples) < config.min_responses:
+                return False, now
+            if not shared_counter_test(merged, max_velocity=config.max_velocity):
+                return False, now
+        return True, now
+
+    def verify_set(self, candidate: Iterable[str], start_time: float = 0.0) -> MidarSetVerdict:
+        """Run the full pipeline on one candidate alias set."""
+        members = sorted(candidate)[: self._config.max_set_size]
+        classes, velocities, now = self.estimate(members, start_time)
+        usable = [address for address in members if classes[address] is TargetClass.USABLE]
+        if len(usable) < 2:
+            return MidarSetVerdict(
+                candidate=frozenset(members),
+                target_classes=classes,
+                testable=False,
+                partition=[],
+                agrees=False,
+                started_at=start_time,
+                finished_at=now,
+            )
+        # Pairwise corroboration over velocity-compatible pairs.
+        union_find = UnionFind()
+        for address in usable:
+            union_find.add(address)
+
+        for index, left in enumerate(usable):
+            for right in usable[index + 1 :]:
+                if not self._velocity_compatible(velocities.get(left, 0.1), velocities.get(right, 0.1)):
+                    continue
+                shares, now = self._pair_shares_counter(left, right, now)
+                if shares:
+                    union_find.union(left, right)
+        partition = [frozenset(group) for group in union_find.groups()]
+        agrees = len(partition) == 1
+        return MidarSetVerdict(
+            candidate=frozenset(members),
+            target_classes=classes,
+            testable=True,
+            partition=partition,
+            agrees=agrees,
+            started_at=start_time,
+            finished_at=now,
+        )
+
+    def verify_sets(
+        self, candidates: Iterable[Iterable[str]], start_time: float = 0.0
+    ) -> list[MidarSetVerdict]:
+        """Verify many candidate sets sequentially (a MIDAR "run").
+
+        The sets are probed one after another, so a long run exposes later
+        sets to more churn — the effect the paper blames for part of its
+        SSH/MIDAR disagreement.
+        """
+        verdicts = []
+        now = start_time
+        for candidate in candidates:
+            verdict = self.verify_set(candidate, start_time=now)
+            verdicts.append(verdict)
+            now = verdict.finished_at
+        return verdicts
+
+
+@dataclasses.dataclass(frozen=True)
+class AllyPairResult:
+    """Outcome of one Ally pair test through the bank.
+
+    ``left_responded`` / ``right_responded`` expose the per-side response
+    status the set-level verdict needs; ``reused`` records whether the
+    samples came from the bank (no probes issued, no time consumed).
+    """
+
+    left: str
+    right: str
+    left_responded: bool
+    right_responded: bool
+    aliases: bool
+    reused: bool
+
+    @property
+    def responded(self) -> bool:
+        """Whether both sides produced enough samples to test."""
+        return self.left_responded and self.right_responded
+
+
+@dataclasses.dataclass(frozen=True)
+class AllySetResult:
+    """Ally's set-level outcome: the pairwise tests folded into a partition.
+
+    Attributes:
+        members: the (sorted, possibly truncated) members actually tested.
+        responded: members that answered with ≥2 samples in some pair test.
+        partition: union-find groups restricted to the responded members.
+        reused_pairs / tested_pairs: how many pair tests were answered from
+            the bank vs probed fresh.
+        started_at / finished_at: simulation time window of fresh probing.
+    """
+
+    members: tuple[str, ...]
+    responded: frozenset[str]
+    partition: tuple[frozenset[str], ...]
+    reused_pairs: int
+    tested_pairs: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def testable(self) -> bool:
+        """Whether at least two members responded to pair probing."""
+        return len(self.responded) >= 2
+
+    @property
+    def agrees(self) -> bool:
+        """Whether all responded members fold into one group."""
+        return self.testable and len(self.partition) == 1
+
+
+class AllyPipeline:
+    """Pairwise Ally tests over a bank, with optional banked-series reuse.
+
+    With ``reuse=False`` a cold bank reproduces the classic ``AllyProber``
+    byte for byte.  With ``reuse=True`` a pair that some earlier validator
+    already probed together (any interleaved schedule) is decided from the
+    banked series without touching the network — the composed-validation
+    saving the benchmark measures.
+    """
+
+    def __init__(
+        self,
+        bank: IpidSampleBank,
+        rounds: int = 3,
+        interval: float = 0.5,
+        max_velocity: float = 2_000.0,
+        reuse: bool = False,
+    ) -> None:
+        self._bank = bank
+        self._rounds = rounds
+        self._interval = interval
+        self._max_velocity = max_velocity
+        self._reuse = reuse
+
+    @property
+    def bank(self) -> IpidSampleBank:
+        """The sample bank the pipeline collects through."""
+        return self._bank
+
+    @property
+    def pair_duration(self) -> float:
+        """Simulated seconds one freshly probed pair test occupies."""
+        return 2 * self._rounds * self._interval
+
+    def _decide(self, series: dict, left: str, right: str, reused: bool) -> AllyPairResult:
+        left_samples = series[left].samples
+        right_samples = series[right].samples
+        left_ok = len(left_samples) >= 2
+        right_ok = len(right_samples) >= 2
+        aliases = False
+        if left_ok and right_ok:
+            aliases = shared_counter_test(
+                left_samples + right_samples, max_velocity=self._max_velocity
+            )
+        return AllyPairResult(
+            left=left,
+            right=right,
+            left_responded=left_ok,
+            right_responded=right_ok,
+            aliases=aliases,
+            reused=reused,
+        )
+
+    def test_pair(self, left: str, right: str, start_time: float = 0.0) -> AllyPairResult:
+        """Test one pair, reusing banked series when allowed and available."""
+        if self._reuse:
+            cached = self._bank.cached_interleaved(
+                left, right, requested_probes=2 * self._rounds
+            )
+            if cached is not None:
+                return self._decide(cached, left, right, reused=True)
+        series = self._bank.interleaved(
+            (left, right), rounds=self._rounds, interval=self._interval, start_time=start_time
+        )
+        return self._decide(series, left, right, reused=False)
+
+    def resolve(self, addresses: Sequence[str], start_time: float = 0.0) -> tuple[list[frozenset[str]], float]:
+        """Group addresses by exhaustive pairwise testing; returns (groups, end).
+
+        The classic Ally resolve loop: addresses are taken in the given
+        order, already-connected pairs are skipped, and every freshly
+        probed pair advances the clock by one pair duration (reused pairs
+        are free).  Quadratic in the number of addresses — Ally's
+        historical limitation.
+        """
+        union_find = UnionFind()
+        for address in addresses:
+            union_find.add(address)
+        now = start_time
+        for index, left in enumerate(addresses):
+            for right in addresses[index + 1 :]:
+                if union_find.find(left) == union_find.find(right):
+                    continue
+                verdict = self.test_pair(left, right, start_time=now)
+                if not verdict.reused:
+                    now += self.pair_duration
+                if verdict.aliases:
+                    union_find.union(left, right)
+        return [frozenset(group) for group in union_find.groups()], now
+
+    def verify_set(
+        self,
+        candidate: Iterable[str],
+        start_time: float = 0.0,
+        max_set_size: int = 10,
+    ) -> AllySetResult:
+        """Run the pairwise loop over one candidate set."""
+        members = tuple(sorted(candidate)[:max_set_size])
+        union_find = UnionFind()
+        responded: set[str] = set()
+        for address in members:
+            union_find.add(address)
+        now = start_time
+        reused_pairs = 0
+        tested_pairs = 0
+        for index, left in enumerate(members):
+            for right in members[index + 1 :]:
+                if union_find.find(left) == union_find.find(right):
+                    continue
+                verdict = self.test_pair(left, right, start_time=now)
+                tested_pairs += 1
+                if verdict.reused:
+                    reused_pairs += 1
+                else:
+                    now += self.pair_duration
+                if verdict.left_responded:
+                    responded.add(left)
+                if verdict.right_responded:
+                    responded.add(right)
+                if verdict.aliases:
+                    union_find.union(left, right)
+        partition = tuple(
+            frozenset(group & responded)
+            for group in union_find.groups()
+            if group & responded
+        )
+        return AllySetResult(
+            members=members,
+            responded=frozenset(responded),
+            partition=partition,
+            reused_pairs=reused_pairs,
+            tested_pairs=tested_pairs,
+            started_at=start_time,
+            finished_at=now,
+        )

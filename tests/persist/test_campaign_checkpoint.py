@@ -248,3 +248,74 @@ class TestRunInterleaving:
         checkpoint = load_checkpoint(checkpoint_dir)
         campaign, engine = resume_campaign(checkpoint, snapshots=3)
         assert campaign.config == dataclasses.replace(checkpoint.campaign, snapshots=3)
+
+
+class TestCheckpointRotation:
+    def test_default_keeps_only_newest(self, checkpoint_dir):
+        assert sorted(p.name for p in checkpoint_dir.glob("index-*.json")) == ["index-0002.json"]
+        assert sorted(p.name for p in checkpoint_dir.glob("snapshot-*.jsonl")) == [
+            "snapshot-0002.jsonl"
+        ]
+
+    def test_keep_retains_newest_n(self, tmp_path):
+        directory = tmp_path / "rotated"
+        campaign = _campaign(snapshots=3)
+        campaign.run(checkpointer=CampaignCheckpointer(directory, _CONFIG, keep=2))
+        assert sorted(p.name for p in directory.glob("index-*.json")) == [
+            "index-0002.json",
+            "index-0003.json",
+        ]
+        assert sorted(p.name for p in directory.glob("snapshot-*.jsonl")) == [
+            "snapshot-0002.jsonl",
+            "snapshot-0003.jsonl",
+        ]
+        manifest = json.loads((directory / CHECKPOINT_MANIFEST).read_text())
+        assert manifest["retained"] == [2, 3]
+
+    def test_pruned_directory_still_resumes(self, tmp_path, uninterrupted):
+        directory = tmp_path / "rotated"
+        _campaign(snapshots=2).run(
+            checkpointer=CampaignCheckpointer(directory, _CONFIG, keep=2)
+        )
+        checkpoint = load_checkpoint(directory)
+        campaign, engine = resume_campaign(checkpoint, snapshots=_SNAPSHOTS)
+        resumed = campaign.run(
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+        for resolved, reference in zip(
+            resumed.snapshots, uninterrupted.snapshots[checkpoint.completed :]
+        ):
+            assert report_signature(resolved.report) == report_signature(reference.report)
+
+    def test_reused_directory_evicts_stale_higher_numbers(self, tmp_path):
+        # Leftovers of an older campaign must not outrank the fresh save.
+        directory = tmp_path / "reused"
+        directory.mkdir()
+        (directory / "index-0005.json").write_text("{}")
+        (directory / "snapshot-0005.jsonl").write_text("")
+        _campaign(snapshots=2).run(
+            checkpointer=CampaignCheckpointer(directory, _CONFIG, keep=1)
+        )
+        assert sorted(p.name for p in directory.glob("index-*.json")) == ["index-0002.json"]
+        assert sorted(p.name for p in directory.glob("snapshot-*.jsonl")) == [
+            "snapshot-0002.jsonl"
+        ]
+        # The manifest references files that actually exist: resume works.
+        checkpoint = load_checkpoint(directory)
+        assert checkpoint.completed == 2
+
+    def test_foreign_files_left_alone(self, tmp_path):
+        directory = tmp_path / "rotated"
+        directory.mkdir()
+        keepsake = directory / "index-notes.json"
+        keepsake.write_text("{}")
+        _campaign(snapshots=2).run(
+            checkpointer=CampaignCheckpointer(directory, _CONFIG, keep=1)
+        )
+        assert keepsake.exists()  # non-NNNN names are never pruned
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(PersistError, match="at least one snapshot"):
+            CampaignCheckpointer(tmp_path, _CONFIG, keep=0)

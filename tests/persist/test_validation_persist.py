@@ -1,0 +1,131 @@
+"""Tests for validation-report persistence (documents and session round-trips)."""
+
+import json
+
+import pytest
+
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.errors import PersistError
+from repro.persist.validation import (
+    validation_from_document,
+    validation_signature_digest,
+    validation_to_document,
+    validator_spec_from_document,
+    validator_spec_to_document,
+)
+from repro.validation.report import SetVerdict, ValidationReport
+from repro.validation.spec import midar, sample
+
+
+def _report():
+    spec = sample(midar(protocol="ssh"), size=2, seed=1, max_size=10)
+    verdicts = (
+        SetVerdict(
+            candidate=frozenset({"10.0.1.1", "10.0.1.2"}),
+            testable=True,
+            agrees=True,
+            partition=(frozenset({"10.0.1.1", "10.0.1.2"}),),
+            classes=(("10.0.1.1", "usable"), ("10.0.1.2", "usable")),
+            started_at=10.0,
+            finished_at=70.0,
+        ),
+        SetVerdict(
+            candidate=frozenset({"10.0.4.1", "10.0.4.2"}),
+            testable=False,
+            agrees=False,
+            partition=(),
+            classes=(("10.0.4.1", "non_monotonic"), ("10.0.4.2", "non_monotonic")),
+            started_at=70.0,
+            finished_at=102.0,
+        ),
+    )
+    return ValidationReport(
+        validator="midar",
+        spec=spec,
+        candidates=2,
+        verdicts=verdicts,
+        probes_issued=64,
+        probes_reused=12,
+        started_at=10.0,
+        finished_at=102.0,
+    )
+
+
+class TestValidatorSpecDocuments:
+    def test_round_trip(self):
+        spec = sample(midar(protocol="ssh", start_after="active-ipv6"), size=5, seed=2)
+        assert validator_spec_from_document(validator_spec_to_document(spec)) == spec
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(PersistError, match="malformed validator spec"):
+            validator_spec_from_document({"params": []})
+
+
+class TestValidationDocuments:
+    def test_round_trip_is_equal(self):
+        report = _report()
+        restored = validation_from_document(validation_to_document(report))
+        assert restored == report
+
+    def test_signature_stable_across_round_trip(self):
+        report = _report()
+        document = validation_to_document(report)
+        assert document["signature"] == validation_signature_digest(report)
+        # JSON-serialise and parse back, as the session store does.
+        reparsed = json.loads(json.dumps(document))
+        assert validation_from_document(reparsed) == report
+
+    def test_tampered_verdict_fails_signature(self):
+        document = validation_to_document(_report())
+        document["verdicts"][0]["agrees"] = False
+        with pytest.raises(PersistError, match="signature parity"):
+            validation_from_document(document)
+
+    def test_unsupported_version_rejected(self):
+        document = validation_to_document(_report())
+        document["version"] = 99
+        with pytest.raises(PersistError, match="unsupported validation document"):
+            validation_from_document(document)
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(PersistError, match="malformed validation document"):
+            validation_from_document({"version": 1, "validator": "midar"})
+
+
+class TestSessionValidationRoundTrip:
+    def test_save_load_primes_validation_cache(self, tmp_path):
+        session = ReproSession(ScenarioConfig(scale=0.05, seed=3))
+        live = session.validate("midar")
+        session.save(tmp_path / "session")
+
+        restored = ReproSession.load(tmp_path / "session")
+        assert restored.cached_validations() == session.cached_validations()
+        # The restored report is served from the cache, not re-probed.
+        assert restored.validate("midar") == live
+
+    def test_torn_validation_file_detected(self, tmp_path):
+        session = ReproSession(ScenarioConfig(scale=0.05, seed=3))
+        session.validate("midar")
+        directory = tmp_path / "session"
+        session.save(directory)
+        manifest = json.loads((directory / "session.json").read_text())
+        (entry,) = manifest["validations"]
+        target = directory / entry["file"]
+        document = json.loads(target.read_text())
+        document["signature"] = "0" * 64
+        target.write_text(json.dumps(document))
+        with pytest.raises(PersistError, match="does not match the session manifest"):
+            ReproSession.load(directory)
+
+    def test_pre_validation_sessions_still_load(self, tmp_path):
+        session = ReproSession(ScenarioConfig(scale=0.05, seed=3))
+        session.report("active")
+        directory = tmp_path / "session"
+        session.save(directory)
+        manifest = json.loads((directory / "session.json").read_text())
+        del manifest["validations"]  # what an older build would have written
+        (directory / "session.json").write_text(json.dumps(manifest))
+        restored = ReproSession.load(directory)
+        assert restored.cached_validations() == {}
+        assert len(restored.cached_reports()) == 1

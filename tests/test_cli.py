@@ -226,6 +226,27 @@ class TestLongitudinal:
         # The checkpoint advanced in place.
         assert json.loads((checkpoint / "checkpoint.json").read_text())["completed"] == 3
 
+    def test_longitudinal_keep_retains_newest_checkpoints(self, capsys, tmp_path):
+        checkpoint = tmp_path / "checkpoint"
+        exit_code = main(
+            ["longitudinal", "--scale", "0.05", "--seed", "3", "--snapshots", "3",
+             "--ipv4-only", "--checkpoint", str(checkpoint), "--keep", "2"]
+        )
+        assert exit_code == 0
+        assert sorted(p.name for p in checkpoint.glob("index-*.json")) == [
+            "index-0002.json",
+            "index-0003.json",
+        ]
+        # A pruned directory still resumes from the newest checkpoint.
+        capsys.readouterr()
+        assert main(["longitudinal", "--resume", str(checkpoint), "--snapshots", "4"]) == 0
+        assert "resuming after snapshot 2" in capsys.readouterr().out
+
+    def test_longitudinal_rejects_zero_keep(self, capsys):
+        exit_code = main(["longitudinal", "--scale", "0.05", "--keep", "0"])
+        assert exit_code == 2
+        assert "--keep" in capsys.readouterr().err
+
     def test_longitudinal_resume_missing_checkpoint(self, capsys, tmp_path):
         exit_code = main(["longitudinal", "--resume", str(tmp_path / "absent")])
         assert exit_code == 2
@@ -257,6 +278,55 @@ class TestLongitudinal:
         )
         assert exit_code == 2
         assert "already completed" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_list_validators(self, capsys):
+        exit_code = main(["validate", "--list-validators"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("midar", "ally", "speedtrap", "iffinder", "ptr"):
+            assert name in output
+        assert "Table 2" in output  # descriptions, not just names
+
+    def test_unknown_validator_exits_2(self, capsys):
+        exit_code = main(["validate", "--scale", "0.05", "--validators", "nonsense"])
+        assert exit_code == 2
+        assert "unknown validator 'nonsense'" in capsys.readouterr().err
+
+    def test_empty_validators_exits_2(self, capsys):
+        exit_code = main(["validate", "--scale", "0.05", "--validators"])
+        assert exit_code == 2
+        assert "no validators requested" in capsys.readouterr().err
+
+    def test_validate_prints_summary_and_writes_markdown(self, capsys, tmp_path):
+        exit_code = main(
+            ["validate", "--scale", "0.05", "--seed", "3",
+             "--validators", "midar", "ally", "--output", str(tmp_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Validation summary" in output
+        assert "midar" in output and "ally" in output
+        assert "shared sample bank" in output
+        markdown = (tmp_path / "validation.md").read_text()
+        assert markdown.startswith("# Validation report")
+
+    def test_validate_snapshots_mode(self, capsys, tmp_path):
+        exit_code = main(
+            ["validate", "--scale", "0.05", "--seed", "3", "--snapshots", "2",
+             "--ipv4-only", "--output", str(tmp_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Per-snapshot validation (midar" in output
+        markdown = (tmp_path / "validation.md").read_text()
+        assert "Per-snapshot validation: midar" in markdown
+
+    def test_validate_snapshots_rejects_zero(self, capsys):
+        exit_code = main(["validate", "--scale", "0.05", "--snapshots", "0"])
+        assert exit_code == 2
+        assert "at least one snapshot" in capsys.readouterr().err
 
 
 class TestSession:

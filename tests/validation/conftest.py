@@ -1,0 +1,119 @@
+"""Shared fixtures for the validation-subsystem tests.
+
+``controlled_network`` builds the same hand-crafted device mix the MIDAR
+baseline tests use: one shared-counter router (true aliases detectable via
+IPID), a second shared-counter router (distinct device), a per-interface
+router, and random/constant-IPID devices — every verdict class reachable
+with a handful of addresses and zero loss.
+"""
+
+import random
+
+import pytest
+
+from repro.net.ipid import (
+    ConstantIpidCounter,
+    MonotonicIpidCounter,
+    PerInterfaceIpidCounter,
+    RandomIpidCounter,
+)
+from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
+from repro.simnet.device import Device, DeviceRole, Interface
+from repro.simnet.network import SimulatedInternet, VantagePoint
+
+VP = VantagePoint(name="validation-test")
+
+
+def build_network():
+    registry = AsRegistry()
+    registry.add(AutonomousSystem(asn=100, name="ISP", role=AsRole.ISP))
+    devices = [
+        Device(
+            device_id="shared",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=100,
+            interfaces=[
+                Interface(name="a", address="10.0.1.1", asn=100),
+                Interface(name="b", address="10.0.1.2", asn=100),
+                Interface(name="c", address="10.0.1.3", asn=100),
+                Interface(name="v6a", address="2001:db80::11", asn=100),
+                Interface(name="v6b", address="2001:db80::12", asn=100),
+            ],
+            ipid_counter=MonotonicIpidCounter(start=1000, velocity=5.0, jitter=0),
+        ),
+        Device(
+            device_id="shared-2",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=100,
+            interfaces=[
+                Interface(name="a", address="10.0.2.1", asn=100),
+                Interface(name="b", address="10.0.2.2", asn=100),
+            ],
+            ipid_counter=MonotonicIpidCounter(start=40000, velocity=5.0, jitter=0),
+        ),
+        Device(
+            device_id="per-interface",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=100,
+            interfaces=[
+                Interface(name="a", address="10.0.3.1", asn=100),
+                Interface(name="b", address="10.0.3.2", asn=100),
+            ],
+            ipid_counter=PerInterfaceIpidCounter(velocity=5.0, rng=random.Random(99)),
+        ),
+        Device(
+            device_id="random",
+            role=DeviceRole.SERVER,
+            home_asn=100,
+            interfaces=[
+                Interface(name="a", address="10.0.4.1", asn=100),
+                Interface(name="b", address="10.0.4.2", asn=100),
+            ],
+            ipid_counter=RandomIpidCounter(rng=random.Random(4)),
+        ),
+        Device(
+            device_id="constant",
+            role=DeviceRole.SERVER,
+            home_asn=100,
+            interfaces=[
+                Interface(name="a", address="10.0.5.1", asn=100),
+                Interface(name="b", address="10.0.5.2", asn=100),
+            ],
+            ipid_counter=ConstantIpidCounter(value=0),
+        ),
+    ]
+    return SimulatedInternet(registry=registry, devices=devices, seed=1, loss_rate=0.0)
+
+
+@pytest.fixture
+def network():
+    return build_network()
+
+
+@pytest.fixture
+def make_network():
+    """Factory fixture: a fresh controlled network per call."""
+    return build_network
+
+
+@pytest.fixture
+def vantage():
+    return VP
+
+
+@pytest.fixture
+def count_probes():
+    """Factory: wrap a network's ``sample_ipid`` with a call counter."""
+
+    def wrap(network):
+        counter = {"probes": 0}
+        original = network.sample_ipid
+
+        def counting(address, vantage, now=0.0):
+            counter["probes"] += 1
+            return original(address, vantage, now=now)
+
+        network.sample_ipid = counting
+        return counter
+
+    return wrap

@@ -1,0 +1,95 @@
+"""Tests for the shared IPID sample bank."""
+
+from repro.baselines.ipid import collect_interleaved, collect_series
+from repro.validation.bank import IpidSampleBank
+
+
+class TestSeriesMemoisation:
+    def test_identical_request_served_from_cache(self, network, vantage, count_probes):
+        counter = count_probes(network)
+        bank = IpidSampleBank(network, vantage)
+        first = bank.series("10.0.1.1", samples=4, interval=1.0, start_time=0.0)
+        assert counter["probes"] == 4
+        second = bank.series("10.0.1.1", samples=4, interval=1.0, start_time=0.0)
+        assert second is first
+        assert counter["probes"] == 4  # no new network traffic
+        assert bank.probes_issued == 4
+        assert bank.probes_reused == 4
+
+    def test_different_schedule_collects_again(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        bank.series("10.0.1.1", samples=4, interval=1.0, start_time=0.0)
+        bank.series("10.0.1.1", samples=4, interval=1.0, start_time=100.0)
+        assert bank.probes_issued == 8
+        assert bank.probes_reused == 0
+
+    def test_cold_bank_matches_direct_collection(self, make_network, vantage):
+        banked = IpidSampleBank(make_network(), vantage).series(
+            "10.0.1.1", samples=5, interval=2.0, start_time=10.0
+        )
+        direct = collect_series(
+            make_network(), "10.0.1.1", vantage, samples=5, interval=2.0, start_time=10.0
+        )
+        assert banked.samples == direct.samples
+
+    def test_unresponsive_probes_still_counted(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        series = bank.series("198.18.0.1", samples=3, interval=1.0, start_time=0.0)
+        assert series.response_count == 0
+        assert bank.probes_issued == 3
+
+
+class TestInterleavedMemoisation:
+    def test_identical_request_served_from_cache(self, network, vantage, count_probes):
+        counter = count_probes(network)
+        bank = IpidSampleBank(network, vantage)
+        first = bank.interleaved(("10.0.1.1", "10.0.1.2"), rounds=3, interval=0.5, start_time=0.0)
+        assert counter["probes"] == 6
+        second = bank.interleaved(("10.0.1.1", "10.0.1.2"), rounds=3, interval=0.5, start_time=0.0)
+        assert second is first
+        assert counter["probes"] == 6
+        assert bank.probes_reused == 6
+
+    def test_cold_bank_matches_direct_collection(self, make_network, vantage):
+        banked = IpidSampleBank(make_network(), vantage).interleaved(
+            ("10.0.1.1", "10.0.1.2"), rounds=4, interval=1.0, start_time=5.0
+        )
+        direct = collect_interleaved(
+            make_network(), ["10.0.1.1", "10.0.1.2"], vantage, rounds=4, interval=1.0, start_time=5.0
+        )
+        assert {a: s.samples for a, s in banked.items()} == {
+            a: s.samples for a, s in direct.items()
+        }
+
+
+class TestPairReuse:
+    def test_cached_pair_found_regardless_of_order(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        collected = bank.interleaved(("10.0.1.1", "10.0.1.2"), rounds=6, interval=1.0, start_time=0.0)
+        cached = bank.cached_interleaved("10.0.1.2", "10.0.1.1")
+        assert cached is collected
+        # Without a caller schedule the banked slots count as reused.
+        assert bank.probes_reused == 12
+
+    def test_pair_reuse_counts_callers_avoided_probes(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        bank.interleaved(("10.0.1.1", "10.0.1.2"), rounds=6, interval=1.0, start_time=0.0)
+        bank.cached_interleaved("10.0.1.1", "10.0.1.2", requested_probes=6)
+        assert bank.probes_reused == 6  # what the caller's schedule avoided
+
+    def test_unknown_pair_returns_none(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        assert bank.cached_interleaved("10.0.1.1", "10.0.2.1") is None
+
+    def test_latest_collection_wins(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        bank.interleaved(("10.0.1.1", "10.0.1.2"), rounds=3, interval=0.5, start_time=0.0)
+        later = bank.interleaved(("10.0.1.1", "10.0.1.2"), rounds=3, interval=0.5, start_time=50.0)
+        assert bank.cached_interleaved("10.0.1.1", "10.0.1.2") is later
+
+    def test_wider_interleave_registers_every_pair(self, network, vantage):
+        bank = IpidSampleBank(network, vantage)
+        collected = bank.interleaved(
+            ("10.0.1.1", "10.0.1.2", "10.0.1.3"), rounds=3, interval=0.5, start_time=0.0
+        )
+        assert bank.cached_interleaved("10.0.1.3", "10.0.1.1") is collected
