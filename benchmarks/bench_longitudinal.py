@@ -91,7 +91,7 @@ def _full_replay(captures):
     return total, reports
 
 
-def bench_incremental_vs_full_rebuild(benchmark, captures):
+def bench_incremental_vs_full_rebuild(benchmark, captures, bench_json):
     """The headline race: delta replay vs rebuild, with parity on every snapshot."""
     observations_per_snapshot = len(captures[0].observations)
 
@@ -130,6 +130,18 @@ def bench_incremental_vs_full_rebuild(benchmark, captures):
         f"{1000 * full_best:.0f} ms over {len(captures) - 1} snapshots of "
         f"~{observations_per_snapshot} observations ({speedup:.2f}x; "
         f"{incremental_counter.count} delta extractions vs {full_counter.count} rebuild extractions)"
+    )
+    bench_json.record(
+        "longitudinal",
+        "incremental_vs_full_rebuild",
+        snapshots=len(captures) - 1,
+        observations_per_snapshot=observations_per_snapshot,
+        incremental_seconds=incremental_best,
+        full_seconds=full_best,
+        speedup=speedup,
+        delta_extractions=incremental_counter.count,
+        rebuild_extractions=full_counter.count,
+        asserted=observations_per_snapshot >= _ASSERT_THRESHOLD,
     )
     if observations_per_snapshot >= _ASSERT_THRESHOLD:
         assert speedup >= _REQUIRED_SPEEDUP, (

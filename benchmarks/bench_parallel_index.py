@@ -5,10 +5,12 @@ Races :func:`repro.api.parallel.build_index_parallel` against the serial
 two produce identical index state and a bit-identical report (by
 :func:`report_signature`) regardless of timing.
 
-The wall-clock assertion only arms when the machine can actually win:
-multiple CPU cores and enough observations that fork/pickle overhead is
-amortised.  On a single-core machine the speedup is still measured and
-printed (and will honestly be < 1x).
+Serial/parallel timings and the transport exercised (shared-memory vs the
+legacy fork/spawn object shipping) are always printed and recorded into
+``BENCH_parallel_index.json`` — the wall-clock *assertion* only arms when
+the machine can actually win: multiple CPU cores and enough observations
+that pool-startup overhead is amortised.  On a single-core machine the
+speedup is still measured and reported (and will honestly be < 1x).
 
 Run with the usual harness, e.g.::
 
@@ -20,14 +22,14 @@ Run with the usual harness, e.g.::
 import os
 import time
 
-from repro.api.parallel import build_index_parallel, resolve_parallel
+from repro.api.parallel import build_index_parallel, last_build_stats, resolve_parallel
 from repro.core.engine import ObservationIndex, ResolutionEngine, report_signature
 
-#: Minimum *serial* build time before the speedup assertion arms: the fork
-#: path pays a fixed ~100-200 ms for pool startup, parent-side sharding and
-#: pickling the per-shard indexes back, so a win is only guaranteed once the
-#: serial pass dwarfs that overhead (scale 1.0 builds in ~90 ms — below the
-#: floor by design; raise REPRO_BENCH_SCALE to arm the race).
+#: Minimum *serial* build time before the speedup assertion arms: the pool
+#: pays a fixed ~100-200 ms for startup, parent-side packing and pickling
+#: the per-shard indexes back, so a win is only guaranteed once the serial
+#: pass dwarfs that overhead (scale 1.0 builds in well under the floor by
+#: design; raise REPRO_BENCH_SCALE to arm the race).
 _SPEEDUP_FLOOR_SECONDS = 0.5
 
 
@@ -41,7 +43,7 @@ def _timed(callable_):
     return result, time.perf_counter() - start
 
 
-def bench_parallel_index_parity(benchmark, scenario):
+def bench_parallel_index_parity(benchmark, scenario, bench_json):
     """Sharded build must reproduce the serial index and report exactly."""
     observations = _observations(scenario)
     workers = min(4, os.cpu_count() or 1) or 2
@@ -50,6 +52,22 @@ def bench_parallel_index_parity(benchmark, scenario):
     parallel = benchmark.pedantic(
         lambda: build_index_parallel(observations, workers=workers), rounds=1, iterations=1
     )
+    build = last_build_stats()
+    print()
+    print(
+        f"parity build over {build.transport}: pack {1000 * build.pack_seconds:.1f} ms, "
+        f"build {1000 * build.build_seconds:.1f} ms, merge {1000 * build.merge_seconds:.1f} ms"
+    )
+    bench_json.record(
+        "parallel_index",
+        "parity",
+        observations=len(observations),
+        workers=workers,
+        transport=build.transport,
+        pack_seconds=build.pack_seconds,
+        build_seconds=build.build_seconds,
+        merge_seconds=build.merge_seconds,
+    )
     assert parallel.state_signature() == serial.state_signature()
     engine = ResolutionEngine()
     assert report_signature(engine.report(parallel, name="union")) == report_signature(
@@ -57,8 +75,12 @@ def bench_parallel_index_parity(benchmark, scenario):
     )
 
 
-def bench_parallel_vs_serial(benchmark, scenario):
-    """Head-to-head wall clock: serial build vs sharded parallel build."""
+def bench_parallel_vs_serial(benchmark, scenario, bench_json):
+    """Head-to-head wall clock: serial build vs sharded parallel build.
+
+    Timings and the transport used are always printed and recorded,
+    whatever the hardware; only the speedup *assertion* is conditional.
+    """
     observations = _observations(scenario)
     cpus = os.cpu_count() or 1
     workers = min(4, max(2, cpus))
@@ -71,12 +93,27 @@ def bench_parallel_vs_serial(benchmark, scenario):
         _timed(lambda: build_index_parallel(observations, workers=workers))[1]
         for _ in range(rounds)
     )
+    transport = last_build_stats().transport
     speedup = serial_time / parallel_time if parallel_time else float("inf")
+    armed = cpus >= 2 and serial_time >= _SPEEDUP_FLOOR_SECONDS
     print()
     print(
-        f"serial {serial_time * 1000:.1f} ms vs parallel({workers}) "
+        f"serial {serial_time * 1000:.1f} ms vs parallel({workers}, {transport}) "
         f"{parallel_time * 1000:.1f} ms ({speedup:.2f}x) over "
         f"{len(observations)} observations on {cpus} CPU(s)"
+        f"{'' if armed else ' — speedup assertion dormant'}"
+    )
+    bench_json.record(
+        "parallel_index",
+        "parallel_vs_serial",
+        observations=len(observations),
+        cpus=cpus,
+        workers=workers,
+        transport=transport,
+        serial_seconds=serial_time,
+        parallel_seconds=parallel_time,
+        speedup=speedup,
+        asserted=armed,
     )
 
     report, _ = _timed(
@@ -85,10 +122,9 @@ def bench_parallel_vs_serial(benchmark, scenario):
     assert len(report.ipv4_union) > 0
 
     # Without real parallel hardware, or with a serial pass small enough
-    # that fixed fork/pickle overhead dominates, the race measures process
-    # startup rather than the index pass — record the ratio but don't
-    # assert on it.
-    if cpus >= 2 and serial_time >= _SPEEDUP_FLOOR_SECONDS:
+    # that fixed pool overhead dominates, the race measures process startup
+    # rather than the index pass — record the ratio but don't assert on it.
+    if armed:
         assert parallel_time < serial_time
 
     benchmark.pedantic(

@@ -67,7 +67,7 @@ def saved_session(tmp_path_factory):
     return session, directory
 
 
-def bench_warm_vs_cold_start(benchmark, saved_session):
+def bench_warm_vs_cold_start(benchmark, saved_session, bench_json):
     """Load-and-read vs simulate-and-resolve, with signature parity."""
     live, directory = saved_session
     reference = {
@@ -100,6 +100,15 @@ def bench_warm_vs_cold_start(benchmark, saved_session):
         f"{1000 * cold_time:.0f} ms over {len(_COMPOSITIONS)} compositions "
         f"({speedup:.1f}x)"
     )
+    bench_json.record(
+        "persistence",
+        "warm_vs_cold_start",
+        compositions=len(_COMPOSITIONS),
+        warm_seconds=warm_time,
+        cold_seconds=cold_time,
+        speedup=speedup,
+        asserted=cold_time >= _ASSERT_THRESHOLD_SECONDS,
+    )
     if cold_time >= _ASSERT_THRESHOLD_SECONDS:
         assert speedup >= _REQUIRED_SPEEDUP, (
             f"warm start only {speedup:.2f}x faster than cold "
@@ -123,7 +132,7 @@ def bench_rendered_experiment_parity(benchmark, saved_session):
     print(f"{len(reference)} experiments render byte-identically after reload")
 
 
-def bench_checkpoint_resume(benchmark, tmp_path_factory):
+def bench_checkpoint_resume(benchmark, tmp_path_factory, bench_json):
     """Stop after snapshot k, resume to the end, match the straight run."""
     config = _bench_config()
     snapshots, stop_after = 4, 2
@@ -171,6 +180,14 @@ def bench_checkpoint_resume(benchmark, tmp_path_factory):
         f"resume of {snapshots - stop_after}/{snapshots} snapshots "
         f"{1000 * resume_time:.0f} ms vs full campaign {1000 * full_time:.0f} ms "
         "(snapshot-for-snapshot parity held)"
+    )
+    bench_json.record(
+        "persistence",
+        "checkpoint_resume",
+        snapshots=snapshots,
+        resumed_snapshots=snapshots - stop_after,
+        resume_seconds=resume_time,
+        full_campaign_seconds=full_time,
     )
 
     benchmark.pedantic(resume, rounds=1, iterations=1)

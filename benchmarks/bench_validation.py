@@ -112,7 +112,7 @@ def _legacy_table2(session, midar_sample_size=150, midar_seed=7):
     return Table2Result(rows=rows, midar_sampled_sets=len(chosen), midar_testable_sets=len(testable))
 
 
-def bench_table2_registry_parity(benchmark):
+def bench_table2_registry_parity(benchmark, bench_json):
     """Table 2 via the validator registry == the hand-wired legacy build."""
     config = _bench_config()
     legacy = render(_legacy_table2(ReproSession(config)))
@@ -128,6 +128,11 @@ def bench_table2_registry_parity(benchmark):
     print(
         f"table2 via validator registry byte-identical to legacy build "
         f"(scale {config.scale}, seed {config.seed}, {1000 * elapsed:.0f} ms)"
+    )
+    bench_json.record(
+        "validation",
+        "table2_registry_parity",
+        seconds=elapsed,
     )
     benchmark.pedantic(registry_build, rounds=1, iterations=1)
 
@@ -159,7 +164,7 @@ def _sample_and_start(session):
     return chosen, start
 
 
-def bench_shared_bank_probe_reduction(benchmark):
+def bench_shared_bank_probe_reduction(benchmark, bench_json):
     """Composed midar+ally probes strictly less than independent probers,
     with identical verdicts."""
     config = _bench_config(loss_rate=0.0)
@@ -234,6 +239,15 @@ def bench_shared_bank_probe_reduction(benchmark):
         f"({1 - composed / independent:.1%} fewer, "
         f"ally pass {ally_saved:.1%} answered from the bank; "
         f"verdict parity held over {len(chosen)} sets, {1000 * elapsed:.0f} ms)"
+    )
+    bench_json.record(
+        "validation",
+        "shared_bank_probe_reduction",
+        seconds=elapsed,
+        independent_probes=independent,
+        composed_probes=composed,
+        probes_reused=ally_report.probes_reused,
+        sets=len(chosen),
     )
     benchmark.pedantic(lambda: composed, rounds=1, iterations=1)
 

@@ -57,7 +57,8 @@ from repro.analysis.validation import (
     validation_table,
 )
 from repro.api.experiments import all_experiments, get_experiment
-from repro.api.parallel import resolve_parallel
+from repro.api.parallel import build_index_parallel, last_build_stats
+from repro.core.engine import ResolutionEngine
 from repro.api.plan import ScanPlan
 from repro.api.session import ReproSession
 from repro.api.sources import SOURCES
@@ -108,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the sharded index build (default 1 = serial)",
+    )
+    resolve.add_argument(
+        "--stats",
+        action="store_true",
+        help="print index build statistics (counts, interned table sizes, build path)",
     )
 
     experiments = subparsers.add_parser("experiments", help="regenerate the paper's tables and figures")
@@ -320,6 +326,31 @@ def _command_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_index_stats(index) -> None:
+    """Print the --stats block: index counts, table sizes, build path."""
+    stats = index.stats()
+    build = last_build_stats()
+    print("index build statistics:")
+    print(f"  observed observations:   {stats['observed']}")
+    print(f"  indexed observations:    {stats['indexed']}")
+    print(f"  interned addresses:      {stats['address_symbols']}")
+    print(f"  interned identifiers:    {stats['identifier_symbols']}")
+    for bucket, payload in stats["buckets"].items():
+        print(
+            f"  bucket {bucket}: {payload['identifiers']} identifiers, "
+            f"{payload['member_cells']} member cells"
+        )
+    if build is not None:
+        print(f"  build path:              {build.transport} ({build.workers} worker(s))")
+        if build.shard_sizes:
+            print(f"  shard sizes:             {list(build.shard_sizes)}")
+        print(
+            "  timings:                 "
+            f"pack {build.pack_seconds:.3f}s, build {build.build_seconds:.3f}s, "
+            f"merge {build.merge_seconds:.3f}s"
+        )
+
+
 def _command_resolve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -335,10 +366,13 @@ def _command_resolve(args: argparse.Namespace) -> int:
         return 2
     # Feed the loaded datasets through the single-pass engine as one stream;
     # with --workers > 1 the index is built across sharded worker processes.
-    if args.workers > 1:
-        report = resolve_parallel(
-            list(iter_observations(*datasets)), name=args.name, workers=args.workers
+    if args.workers > 1 or args.stats:
+        index = build_index_parallel(
+            list(iter_observations(*datasets)), workers=args.workers
         )
+        report = ResolutionEngine().report(index, name=args.name)
+        if args.stats:
+            _print_index_stats(index)
     else:
         report = run_alias_resolution(iter_observations(*datasets), name=args.name)
     args.output.mkdir(parents=True, exist_ok=True)

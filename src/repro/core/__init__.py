@@ -20,7 +20,7 @@ This package implements the paper's technique proper:
   paper's evaluation reports (a facade over the engine).
 """
 
-from repro.core.alias_resolution import AliasResolver, UnionFind
+from repro.core.alias_resolution import AliasResolver, IntUnionFind, UnionFind
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.core.dual_stack import DualStackCollection, DualStackSet, infer_dual_stack, union_dual_stack
 from repro.core.identifiers import (
@@ -38,6 +38,7 @@ from repro.core.validation import ValidationResult, cross_validate
 
 __all__ = [
     "AliasResolver",
+    "IntUnionFind",
     "UnionFind",
     "ObservationIndex",
     "ResolutionEngine",

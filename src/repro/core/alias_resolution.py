@@ -15,6 +15,7 @@ remains the one-shot API for callers holding a raw observation iterable.
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from typing import Hashable, Iterable
 
@@ -25,61 +26,122 @@ from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
 
 
-class UnionFind:
-    """Union-find over hashable items: iterative find, union by rank.
+class IntUnionFind:
+    """Union-find over a dense integer domain: flat arrays, union by rank.
 
-    The find is iterative (two pointer-chasing loops with full path
-    compression) rather than recursive, so million-item parent chains never
-    hit :class:`RecursionError`; union by rank keeps the chains short in the
-    first place.  Shared by the cross-protocol union, the dual-stack union
-    and the :mod:`repro.baselines` probing techniques.
+    Parent pointers and ranks live in :mod:`array` columns indexed by item,
+    so a million-component structure is two contiguous buffers instead of a
+    pair of hash tables.  The find is iterative (two pointer-chasing loops
+    with full path compression) rather than recursive, so million-item
+    parent chains never hit :class:`RecursionError`; union by rank keeps the
+    chains short in the first place.
+
+    Items are the dense indexes ``0..len(self)-1`` handed out by
+    :meth:`add` in allocation order.  Callers with hashable items intern
+    them to indexes first — that is exactly what :class:`UnionFind` does.
     """
 
     __slots__ = ("_parent", "_rank")
 
-    def __init__(self) -> None:
-        self._parent: dict = {}
-        self._rank: dict = {}
-
-    def __contains__(self, item: Hashable) -> bool:
-        return item in self._parent
+    def __init__(self, size: int = 0) -> None:
+        self._parent = array("q", range(size))
+        self._rank = array("b", bytes(size))
 
     def __len__(self) -> int:
         return len(self._parent)
 
-    def add(self, item: Hashable) -> None:
-        """Register ``item`` as a singleton component if unseen."""
-        self._parent.setdefault(item, item)
+    def add(self) -> int:
+        """Allocate the next index as a fresh singleton component."""
+        index = len(self._parent)
+        self._parent.append(index)
+        self._rank.append(0)
+        return index
 
-    def find(self, item: Hashable) -> Hashable:
-        """Root of ``item``'s component, registering ``item`` if unseen."""
+    def find(self, index: int) -> int:
+        """Root of ``index``'s component (with full path compression)."""
         parent = self._parent
-        root = parent.setdefault(item, item)
+        root = parent[index]
         while parent[root] != root:
             root = parent[root]
-        while parent[item] != root:
-            parent[item], item = root, parent[item]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
         return root
 
-    def union(self, left: Hashable, right: Hashable) -> Hashable:
+    def union(self, left: int, right: int) -> int:
         """Merge the components of ``left`` and ``right``; returns the root."""
         left_root, right_root = self.find(left), self.find(right)
         if left_root == right_root:
             return left_root
-        left_rank = self._rank.get(left_root, 0)
-        right_rank = self._rank.get(right_root, 0)
+        rank = self._rank
+        left_rank = rank[left_root]
+        right_rank = rank[right_root]
         if left_rank < right_rank:
             left_root, right_root = right_root, left_root
         self._parent[right_root] = left_root
         if left_rank == right_rank:
-            self._rank[left_root] = left_rank + 1
+            rank[left_root] = left_rank + 1
         return left_root
+
+    def groups(self) -> list[list[int]]:
+        """Connected components, ordered by each component's first-seen index."""
+        components: dict[int, list[int]] = {}
+        find = self.find
+        for index in range(len(self._parent)):
+            components.setdefault(find(index), []).append(index)
+        return list(components.values())
+
+
+class UnionFind:
+    """Union-find over hashable items: interned indexes over :class:`IntUnionFind`.
+
+    Items are interned to dense indexes on first sight and all structural
+    work (find, union, rank bookkeeping) happens on the flat integer arrays
+    of an :class:`IntUnionFind`; only the API surface speaks items.  The
+    observable behaviour — roots returned, component contents, first-seen
+    group ordering — is identical to the previous all-dict encoding because
+    interning preserves insertion order and the rank algorithm is unchanged.
+    Shared by the cross-protocol union, the dual-stack union and the
+    :mod:`repro.baselines` probing techniques.
+    """
+
+    __slots__ = ("_ids", "_items", "_core")
+
+    def __init__(self) -> None:
+        self._ids: dict = {}
+        self._items: list = []
+        self._core = IntUnionFind()
+
+    def _intern(self, item: Hashable) -> int:
+        index = self._ids.get(item)
+        if index is None:
+            index = self._ids[item] = self._core.add()
+            self._items.append(item)
+        return index
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._ids
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton component if unseen."""
+        self._intern(item)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Root of ``item``'s component, registering ``item`` if unseen."""
+        return self._items[self._core.find(self._intern(item))]
+
+    def union(self, left: Hashable, right: Hashable) -> Hashable:
+        """Merge the components of ``left`` and ``right``; returns the root."""
+        return self._items[self._core.union(self._intern(left), self._intern(right))]
 
     def groups(self) -> list[set]:
         """Connected components, ordered by each component's first-seen item."""
-        components: dict = {}
-        for item in self._parent:
-            components.setdefault(self.find(item), set()).add(item)
+        components: dict[int, set] = {}
+        find = self._core.find
+        for index, item in enumerate(self._items):
+            components.setdefault(find(index), set()).add(item)
         return list(components.values())
 
 
@@ -87,26 +149,26 @@ def merge_overlapping(items: Iterable, addresses_of) -> list[list]:
     """Group ``items`` into components connected through shared addresses.
 
     The single algorithm behind both :meth:`AliasResolver.union` and
-    :func:`repro.core.dual_stack.union_dual_stack`: a rank-based union-find
-    over item indices, driven by an address→first-owner mapping so two items
-    merge the moment a second one claims an already-owned address.  Items
-    with no addresses are skipped.  Components are returned ordered by their
+    :func:`repro.core.dual_stack.union_dual_stack`: a rank-based
+    :class:`IntUnionFind` over item indices (already dense, so no interning
+    layer), driven by an address→first-owner mapping so two items merge the
+    moment a second one claims an already-owned address.  Items with no
+    addresses are skipped.  Components are returned ordered by their
     smallest member address, which makes the derived
     ``union:<smallest-address>`` labels canonical (independent of input
     order).
     """
     contributing: list = []
     address_sets: list = []
-    union_find = UnionFind()
+    union_find = IntUnionFind()
     owner: dict = {}
     for item in items:
         addresses = addresses_of(item)
         if not addresses:
             continue
-        index = len(contributing)
+        index = union_find.add()
         contributing.append(item)
         address_sets.append(addresses)
-        union_find.add(index)
         for address in addresses:
             first_owner = owner.setdefault(address, index)
             if first_owner != index:

@@ -1,4 +1,4 @@
-"""Single-pass resolution engine.
+"""Single-pass resolution engine over a columnar, interned index.
 
 The seed implementation of the pipeline walked the full observation list
 once per (protocol × family) grouping plus once per protocol for dual-stack
@@ -14,6 +14,22 @@ replaces that with a two-stage architecture:
    collections, and the cross-protocol unions are all materialised from the
    index without re-touching raw observations.
 
+Internally the index is *columnar and interned*: addresses and identifier
+values are interned to dense integers through two per-index
+:class:`~repro.core.symbols.SymbolTable`\\ s, buckets are addressed by a flat
+``protocol × family`` code (no enum hashing on the hot path — the previous
+dict core spent ~8 Python-level enum ``__hash__`` calls per observation on
+tuple bucket keys), per-bucket membership is integer-keyed reference counts,
+and the per-address ASN columns are flat :mod:`array` columns indexed by
+address symbol.  An address's family is resolved once at intern time and
+read back as an array cell afterwards.  The public surface — ``add`` /
+``remove`` / ``extend`` / ``merge`` / ``consume_dirty`` / ``export_state`` /
+``state_signature`` and insertion-ordered enumeration — is unchanged from
+the dict core (now preserved as
+:class:`repro.core.dictcore.DictObservationIndex`, the property-test oracle
+and benchmark baseline), so the engine, longitudinal delta replay,
+persistence and validation layers run unmodified on top.
+
 :class:`ResolutionEngine` orchestrates the two stages and assembles the
 :class:`AliasReport` consumed by the experiments, the CLI and the analysis
 layer.  :func:`repro.core.pipeline.run_alias_resolution` is a thin facade
@@ -25,7 +41,9 @@ smallest member address) instead of union-find-root ordered.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable
+from array import array
+from collections.abc import Mapping
+from typing import Iterable, Iterator
 
 from repro.core.alias_resolution import AliasResolver
 from repro.core.aliasset import AliasSet, AliasSetCollection
@@ -36,8 +54,9 @@ from repro.core.identifiers import (
     IdentifierOptions,
     extract_identifier,
 )
+from repro.core.symbols import SymbolTable
 from repro.errors import DatasetError
-from repro.net.addresses import AddressFamily
+from repro.net.addresses import AddressFamily, family_of
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
 
@@ -49,6 +68,121 @@ _BucketKey = tuple[ServiceType, AddressFamily]
 
 #: Sentinel for "extract the identifier yourself" in add/remove.
 _UNEXTRACTED: "DeviceIdentifier | None" = object()  # type: ignore[assignment]
+
+# ---------------------------------------------------------------------- #
+# Flat bucket codes: protocol_code * 2 + family_code.  Keyed off the enum
+# *values* (plain cached strings) so the hot path never calls the
+# Python-level enum ``__hash__``.
+# ---------------------------------------------------------------------- #
+_SERVICES = tuple(ServiceType)
+_FAMILIES = (AddressFamily.IPV4, AddressFamily.IPV6)
+_PROTO_CODE: dict[str, int] = {
+    service.value: code for code, service in enumerate(_SERVICES)
+}
+_FAMILY_CODE: dict[AddressFamily, int] = {
+    family: code for code, family in enumerate(_FAMILIES)
+}
+_BUCKET_KEYS: tuple[_BucketKey, ...] = tuple(
+    (service, family) for service in _SERVICES for family in _FAMILIES
+)
+_BUCKET_COUNT = len(_BUCKET_KEYS)
+
+
+def _bucket_code(protocol: ServiceType, family: AddressFamily) -> int:
+    return _PROTO_CODE[protocol.value] * 2 + _FAMILY_CODE[family]
+
+
+class _Bucket:
+    """Columnar storage of one ``(protocol, family)`` stratum.
+
+    ``members`` maps identifier symbol → {address symbol: refcount}; the ASN
+    columns are flat arrays indexed by address symbol (``asn_refs[sym] == 0``
+    means "no ASN recorded"), grown on demand.  ``asn_cache`` memoises the
+    decoded address→ASN dict between mutations.
+    """
+
+    __slots__ = ("members", "asn_values", "asn_refs", "dirty", "asn_cache")
+
+    def __init__(self) -> None:
+        self.members: dict[int, dict[int, int]] = {}
+        self.asn_values = array("q")
+        self.asn_refs = array("q")
+        self.dirty: set[int] = set()
+        self.asn_cache: dict[str, int] | None = None
+
+    def grow_asn(self, size: int) -> None:
+        """Ensure the ASN columns cover address symbols below ``size``."""
+        missing = size - len(self.asn_refs)
+        if missing > 0:
+            zeros = bytes(8 * missing)
+            self.asn_refs.frombytes(zeros)
+            self.asn_values.frombytes(zeros)
+
+
+class _AddressCounts(Mapping):
+    """Decoded read-only view of one identifier's {address: refcount} cell."""
+
+    __slots__ = ("_counts", "_addresses")
+
+    def __init__(self, counts: dict[int, int], addresses: SymbolTable) -> None:
+        self._counts = counts
+        self._addresses = addresses
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(map(self._addresses.values.__getitem__, self._counts)))
+
+    def __contains__(self, address: object) -> bool:
+        sym = self._addresses.ids.get(address)  # type: ignore[arg-type]
+        return sym is not None and sym in self._counts
+
+    def __getitem__(self, address: str) -> int:
+        sym = self._addresses.ids.get(address)
+        if sym is None:
+            raise KeyError(address)
+        return self._counts[sym]
+
+
+class _BucketMembers(Mapping):
+    """Decoded read-only view of one bucket's identifier→addresses mapping.
+
+    Enumerates identifier values in bucket insertion order (the order the
+    dict core preserved), decoding symbols lazily so incremental consumers
+    touching only dirty identifiers never pay for the full bucket.
+    """
+
+    __slots__ = ("_members", "_identifiers", "_addresses")
+
+    def __init__(
+        self,
+        members: dict[int, dict[int, int]],
+        identifiers: SymbolTable,
+        addresses: SymbolTable,
+    ) -> None:
+        self._members = members
+        self._identifiers = identifiers
+        self._addresses = addresses
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(map(self._identifiers.values.__getitem__, self._members)))
+
+    def __contains__(self, value: object) -> bool:
+        sym = self._identifiers.ids.get(value)  # type: ignore[arg-type]
+        return sym is not None and sym in self._members
+
+    def __getitem__(self, value: str) -> _AddressCounts:
+        sym = self._identifiers.ids.get(value)
+        if sym is None:
+            raise KeyError(value)
+        counts = self._members.get(sym)
+        if counts is None:
+            raise KeyError(value)
+        return _AddressCounts(counts, self._addresses)
 
 
 class ObservationIndex:
@@ -76,14 +210,21 @@ class ObservationIndex:
     counts how many identifier-carrying observations supplied an ASN per
     address, so conflicting ASN values for one address cannot be unwound
     exactly.
+
+    Storage is columnar and interned — see the module docstring.  The two
+    symbol tables (:attr:`addresses`, :attr:`identifiers`) are per-index and
+    survive pickling, which is what lets the shared-memory parallel build in
+    :mod:`repro.api.parallel` ship shard indexes back as compact integer
+    columns instead of nested string dicts.
     """
 
     def __init__(self, options: IdentifierOptions = DEFAULT_OPTIONS) -> None:
         self._options = options
-        self._members: dict[_BucketKey, dict[str, dict[str, int]]] = {}
-        self._asn: dict[_BucketKey, dict[str, int]] = {}
-        self._asn_refs: dict[_BucketKey, dict[str, int]] = {}
-        self._dirty: dict[_BucketKey, set[str]] = {}
+        self._addresses = SymbolTable()
+        self._identifiers = SymbolTable()
+        #: family code per address symbol, resolved once at intern time.
+        self._family_codes = array("b")
+        self._buckets: list[_Bucket | None] = [None] * _BUCKET_COUNT
         self._observed = 0
         self._indexed = 0
 
@@ -113,6 +254,29 @@ class ObservationIndex:
         """Observations that contributed an identifier to the index."""
         return self._indexed
 
+    @property
+    def address_symbols(self) -> int:
+        """Distinct addresses interned by this index."""
+        return len(self._addresses)
+
+    @property
+    def identifier_symbols(self) -> int:
+        """Distinct identifier values interned by this index."""
+        return len(self._identifiers)
+
+    def _intern_address(self, address: str) -> int:
+        """Intern ``address``, resolving its family code exactly once."""
+        sym = self._addresses.intern(address)
+        if sym == len(self._family_codes):
+            self._family_codes.append(_FAMILY_CODE[family_of(address)])
+        return sym
+
+    def _bucket(self, code: int) -> _Bucket:
+        bucket = self._buckets[code]
+        if bucket is None:
+            bucket = self._buckets[code] = _Bucket()
+        return bucket
+
     def add(
         self,
         observation: Observation,
@@ -130,22 +294,33 @@ class ObservationIndex:
             identifier = extract_identifier(observation, self._options)
         if identifier is None:
             return False
-        bucket_key = (observation.protocol, observation.family)
-        members = self._members.get(bucket_key)
-        if members is None:
-            members = self._members[bucket_key] = {}
-            self._asn[bucket_key] = {}
-            self._asn_refs[bucket_key] = {}
-            self._dirty[bucket_key] = set()
-        addresses = members.get(identifier.value)
-        if addresses is None:
-            addresses = members[identifier.value] = {}
-        addresses[observation.address] = addresses.get(observation.address, 0) + 1
-        if observation.asn is not None:
-            asn_refs = self._asn_refs[bucket_key]
-            self._asn[bucket_key][observation.address] = observation.asn
-            asn_refs[observation.address] = asn_refs.get(observation.address, 0) + 1
-        self._dirty[bucket_key].add(identifier.value)
+        address = observation.address
+        addr_sym = self._addresses.ids.get(address)
+        if addr_sym is None:
+            addr_sym = self._intern_address(address)
+        code = (
+            _PROTO_CODE[observation.protocol._value_] * 2
+            + self._family_codes[addr_sym]
+        )
+        bucket = self._buckets[code]
+        if bucket is None:
+            bucket = self._buckets[code] = _Bucket()
+        ident_sym = self._identifiers.intern(identifier.value)
+        members = bucket.members
+        counts = members.get(ident_sym)
+        if counts is None:
+            members[ident_sym] = {addr_sym: 1}
+        else:
+            counts[addr_sym] = counts.get(addr_sym, 0) + 1
+        asn = observation.asn
+        if asn is not None:
+            refs = bucket.asn_refs
+            if addr_sym >= len(refs):
+                bucket.grow_asn(len(self._addresses))
+            bucket.asn_values[addr_sym] = asn
+            refs[addr_sym] += 1
+            bucket.asn_cache = None
+        bucket.dirty.add(ident_sym)
         self._indexed += 1
         return True
 
@@ -174,43 +349,50 @@ class ObservationIndex:
                 )
             self._observed -= 1
             return False
-        bucket_key = (observation.protocol, observation.family)
-        members = self._members.get(bucket_key)
-        addresses = members.get(identifier.value) if members is not None else None
-        count = addresses.get(observation.address) if addresses is not None else None
+        addr_sym = self._addresses.ids.get(observation.address)
+        ident_sym = self._identifiers.ids.get(identifier.value)
+        bucket = counts = count = None
+        if addr_sym is not None and ident_sym is not None:
+            code = (
+                _PROTO_CODE[observation.protocol._value_] * 2
+                + self._family_codes[addr_sym]
+            )
+            bucket = self._buckets[code]
+            if bucket is not None:
+                counts = bucket.members.get(ident_sym)
+                if counts is not None:
+                    count = counts.get(addr_sym)
         if count is None:
             raise DatasetError(
                 f"cannot remove unindexed observation {observation.address} "
                 f"({observation.protocol.value}, {observation.family.value})"
             )
         if count == 1:
-            del addresses[observation.address]
-            if not addresses:
-                del members[identifier.value]
+            del counts[addr_sym]
+            if not counts:
+                del bucket.members[ident_sym]
         else:
-            addresses[observation.address] = count - 1
+            counts[addr_sym] = count - 1
         if observation.asn is not None:
-            asn_refs = self._asn_refs[bucket_key]
-            remaining = asn_refs.get(observation.address, 0) - 1
+            refs = bucket.asn_refs
+            remaining = (refs[addr_sym] if addr_sym < len(refs) else 0) - 1
             if remaining < 0:
                 raise DatasetError(
                     f"ASN bookkeeping underflow for {observation.address}: removed "
                     "an ASN-carrying observation that was never added"
                 )
-            if remaining:
-                asn_refs[observation.address] = remaining
-            else:
-                asn_refs.pop(observation.address, None)
-                self._asn[bucket_key].pop(observation.address, None)
-        self._dirty[bucket_key].add(identifier.value)
+            refs[addr_sym] = remaining
+            bucket.asn_cache = None
+        bucket.dirty.add(ident_sym)
         self._observed -= 1
         self._indexed -= 1
         return True
 
     def extend(self, observations: Iterable[Observation]) -> None:
         """Index many observations."""
+        add = self.add
         for observation in observations:
-            self.add(observation)
+            add(observation)
 
     def apply_delta(
         self, removed: Iterable[Observation], added: Iterable[Observation]
@@ -224,10 +406,13 @@ class ObservationIndex:
     def merge(self, other: "ObservationIndex") -> "ObservationIndex":
         """Fold ``other``'s contents into this index; returns ``self``.
 
-        The bucket structure makes this a plain dictionary merge: per-bucket
-        identifier maps union key-wise, and per-identifier address refcounts
-        add.  When the two indexes were built from *disjoint shards of one
-        observation stream partitioned by address* (the parallel build in
+        A merge is an integer-keyed bucket splice: ``other``'s symbol spaces
+        are translated into this index's tables once (one dict probe per
+        *distinct* string, not per reference-count cell), then every bucket
+        merge is pure integer arithmetic — identifier cells union key-wise,
+        address refcounts add, ASN reference columns add element-wise.  When
+        the two indexes were built from *disjoint shards of one observation
+        stream partitioned by address* (the parallel build in
         :mod:`repro.api.parallel`), every inner merge is disjoint and the
         result is exactly the index a serial pass over the whole stream
         would have built, up to identifier insertion order — which no
@@ -235,32 +420,67 @@ class ObservationIndex:
 
         ``other`` is not modified; merging an index into itself is refused
         because the refcount addition would double every count in place.
+
+        Raises:
+            ValueError: when ``other`` was built with different
+                :class:`~repro.core.identifiers.IdentifierOptions` — the two
+                indexes group by incompatible identifier constructions, so
+                splicing them would silently mix resolution semantics.
+            DatasetError: when ``other`` *is* this index.
         """
         if other is self:
             raise DatasetError("cannot merge an ObservationIndex into itself")
         if other._options != self._options:
-            raise DatasetError("cannot merge indexes built with different identifier options")
-        for bucket_key, other_members in other._members.items():
-            members = self._members.get(bucket_key)
-            if members is None:
-                members = self._members[bucket_key] = {}
-                self._asn[bucket_key] = {}
-                self._asn_refs[bucket_key] = {}
-                self._dirty[bucket_key] = set()
-            dirty = self._dirty[bucket_key]
-            for value, other_addresses in other_members.items():
-                addresses = members.get(value)
-                if addresses is None:
-                    members[value] = dict(other_addresses)
+            raise ValueError(
+                "cannot merge indexes built with different identifier options: "
+                f"{other._options} != {self._options}"
+            )
+        # Translate other's symbol spaces into ours, once per distinct string.
+        own_ids = self._addresses.ids
+        other_families = other._family_codes
+        addr_map = array("q", bytes(8 * len(other._addresses)))
+        for sym, address in enumerate(other._addresses.values):
+            own = own_ids.get(address)
+            if own is None:
+                own = self._addresses.intern(address)
+                self._family_codes.append(other_families[sym])
+            addr_map[sym] = own
+        intern_identifier = self._identifiers.intern
+        ident_map = array(
+            "q", (intern_identifier(value) for value in other._identifiers.values)
+        )
+
+        for code, other_bucket in enumerate(other._buckets):
+            if other_bucket is None:
+                continue
+            bucket = self._bucket(code)
+            members = bucket.members
+            dirty = bucket.dirty
+            for other_ident, other_counts in other_bucket.members.items():
+                ident_sym = ident_map[other_ident]
+                counts = members.get(ident_sym)
+                if counts is None:
+                    members[ident_sym] = {
+                        addr_map[sym]: count for sym, count in other_counts.items()
+                    }
                 else:
-                    for address, count in other_addresses.items():
-                        addresses[address] = addresses.get(address, 0) + count
-                dirty.add(value)
-            asn = self._asn[bucket_key]
-            asn_refs = self._asn_refs[bucket_key]
-            asn.update(other._asn[bucket_key])
-            for address, count in other._asn_refs[bucket_key].items():
-                asn_refs[address] = asn_refs.get(address, 0) + count
+                    get = counts.get
+                    for sym, count in other_counts.items():
+                        own = addr_map[sym]
+                        counts[own] = get(own, 0) + count
+                dirty.add(ident_sym)
+            other_refs = other_bucket.asn_refs
+            if other_refs:
+                bucket.grow_asn(len(self._addresses))
+                refs = bucket.asn_refs
+                values = bucket.asn_values
+                other_values = other_bucket.asn_values
+                for sym, count in enumerate(other_refs):
+                    if count:
+                        own = addr_map[sym]
+                        values[own] = other_values[sym]
+                        refs[own] += count
+                bucket.asn_cache = None
         self._observed += other._observed
         self._indexed += other._indexed
         return self
@@ -269,23 +489,49 @@ class ObservationIndex:
     # Persistence
     # ------------------------------------------------------------------ #
     def export_state(self) -> dict:
-        """Deep-copied internal state, for persistence.
+        """Decoded internal state, for persistence.
 
         The returned structure contains plain dicts and ints only (bucket
         keys stay ``(ServiceType, AddressFamily)`` tuples — the JSON
         encoding lives in :mod:`repro.persist.index`).  Unlike
         :meth:`state_signature` it keeps the per-address ASN reference
-        counts, so a restored index supports exact removal replay.
+        counts, so a restored index supports exact removal replay.  The
+        layout is identical to the pre-columnar dict core's export, which is
+        what keeps the on-disk snapshot format readable across cores.
         """
+        ident_values = self._identifiers.values
+        addr_values = self._addresses.values
+        members: dict = {}
+        asn: dict = {}
+        asn_refs: dict = {}
+        for code, bucket in enumerate(self._buckets):
+            if bucket is None:
+                continue
+            key = _BUCKET_KEYS[code]
+            members[key] = {
+                ident_values[ident_sym]: {
+                    addr_values[sym]: count for sym, count in counts.items()
+                }
+                for ident_sym, counts in bucket.members.items()
+            }
+            refs = bucket.asn_refs
+            values = bucket.asn_values
+            asn[key] = {
+                addr_values[sym]: values[sym]
+                for sym in range(len(refs))
+                if refs[sym]
+            }
+            asn_refs[key] = {
+                addr_values[sym]: refs[sym]
+                for sym in range(len(refs))
+                if refs[sym]
+            }
         return {
             "observed": self._observed,
             "indexed": self._indexed,
-            "members": {
-                key: {value: dict(addresses) for value, addresses in members.items()}
-                for key, members in self._members.items()
-            },
-            "asn": {key: dict(mapping) for key, mapping in self._asn.items()},
-            "asn_refs": {key: dict(mapping) for key, mapping in self._asn_refs.items()},
+            "members": members,
+            "asn": asn,
+            "asn_refs": asn_refs,
         }
 
     @classmethod
@@ -307,15 +553,116 @@ class ObservationIndex:
             bucket_keys = (
                 set(state["members"]) | set(state["asn"]) | set(state["asn_refs"])
             )
+            intern_identifier = index._identifiers.intern
+            intern_address = index._intern_address
             for bucket_key in bucket_keys:
-                members = state["members"].get(bucket_key, {})
-                index._members[bucket_key] = {
-                    value: dict(addresses) for value, addresses in members.items()
-                }
-                index._asn[bucket_key] = dict(state["asn"].get(bucket_key, {}))
-                index._asn_refs[bucket_key] = dict(state["asn_refs"].get(bucket_key, {}))
-                index._dirty[bucket_key] = set(members)
+                protocol, family = bucket_key
+                bucket = index._bucket(_bucket_code(protocol, family))
+                for value, addresses in state["members"].get(bucket_key, {}).items():
+                    ident_sym = intern_identifier(value)
+                    bucket.members[ident_sym] = {
+                        intern_address(address): int(count)
+                        for address, count in addresses.items()
+                    }
+                    bucket.dirty.add(ident_sym)
+                asn_values = state["asn"].get(bucket_key, {})
+                asn_refs = state["asn_refs"].get(bucket_key, {})
+                if asn_values or asn_refs:
+                    ref_cells = {
+                        intern_address(address): int(count)
+                        for address, count in asn_refs.items()
+                    }
+                    value_cells = {
+                        intern_address(address): int(value)
+                        for address, value in asn_values.items()
+                    }
+                    bucket.grow_asn(len(index._addresses))
+                    for sym, count in ref_cells.items():
+                        bucket.asn_refs[sym] = count
+                    for sym, value in value_cells.items():
+                        bucket.asn_values[sym] = value
         except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed observation index state: {exc}") from exc
+        return index
+
+    def export_columnar(self) -> dict:
+        """Interned state: symbol tables plus integer columns, for persistence.
+
+        Unlike :meth:`export_state` (which decodes everything back to
+        strings), this carries each distinct address and identifier value
+        exactly once and renders every bucket as flat symbol/count lists —
+        the compact on-disk shape of
+        :data:`repro.persist.index.INDEX_FORMAT_VERSION` 2.  Bucket payload
+        per ``(protocol, family)`` key: ``members`` is a list of
+        ``[identifier_symbol, [address_symbol, count, ...]]`` rows in
+        insertion order, ``asn`` a flat ``[address_symbol, asn, refs, ...]``
+        list over addresses with live ASN references.
+        """
+        buckets: dict[_BucketKey, dict] = {}
+        for code, bucket in enumerate(self._buckets):
+            if bucket is None:
+                continue
+            members = [
+                [ident_sym, [cell for pair in counts.items() for cell in pair]]
+                for ident_sym, counts in bucket.members.items()
+            ]
+            refs = bucket.asn_refs
+            values = bucket.asn_values
+            asn: list[int] = []
+            for sym in range(len(refs)):
+                if refs[sym]:
+                    asn.extend((sym, values[sym], refs[sym]))
+            buckets[_BUCKET_KEYS[code]] = {"members": members, "asn": asn}
+        return {
+            "observed": self._observed,
+            "indexed": self._indexed,
+            "addresses": self._addresses.export(),
+            "identifiers": self._identifiers.export(),
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_columnar(
+        cls, state: dict, options: IdentifierOptions = DEFAULT_OPTIONS
+    ) -> "ObservationIndex":
+        """Rebuild an index from :meth:`export_columnar` output.
+
+        Address family codes are re-derived from the address strings (the
+        columnar export does not carry them), and every identifier is marked
+        dirty exactly as in :meth:`from_state`.
+        """
+        try:
+            index = cls(options)
+            index._observed = int(state["observed"])
+            index._indexed = int(state["indexed"])
+            index._addresses = SymbolTable(state["addresses"])
+            index._identifiers = SymbolTable(state["identifiers"])
+            index._family_codes = array(
+                "b",
+                (
+                    _FAMILY_CODE[family_of(address)]
+                    for address in index._addresses.values
+                ),
+            )
+            size = len(index._addresses)
+            for bucket_key, payload in state["buckets"].items():
+                protocol, family = bucket_key
+                bucket = index._bucket(_bucket_code(protocol, family))
+                for ident_sym, cells in payload["members"]:
+                    ident_sym = int(ident_sym)
+                    bucket.members[ident_sym] = {
+                        int(cells[at]): int(cells[at + 1])
+                        for at in range(0, len(cells), 2)
+                    }
+                    bucket.dirty.add(ident_sym)
+                asn = payload["asn"]
+                if asn:
+                    bucket.grow_asn(size)
+                    for at in range(0, len(asn), 3):
+                        sym = int(asn[at])
+                        bucket.asn_values[sym] = int(asn[at + 1])
+                        bucket.asn_refs[sym] = int(asn[at + 2])
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise DatasetError(f"malformed observation index state: {exc}") from exc
         return index
 
@@ -329,23 +676,49 @@ class ObservationIndex:
         whose membership changed.  Buckets touched but emptied again still
         appear (their identifiers may need dropping from derived caches).
         """
-        dirty = {key: set(values) for key, values in self._dirty.items() if values}
-        for values in self._dirty.values():
-            values.clear()
+        ident_values = self._identifiers.values
+        dirty: dict[_BucketKey, set[str]] = {}
+        for code, bucket in enumerate(self._buckets):
+            if bucket is not None and bucket.dirty:
+                dirty[_BUCKET_KEYS[code]] = {
+                    ident_values[sym] for sym in bucket.dirty
+                }
+                bucket.dirty.clear()
         return dirty
 
     def bucket_members(
         self, protocol: ServiceType, family: AddressFamily
-    ) -> dict[str, dict[str, int]]:
-        """Live identifier→{address: refcount} mapping of one bucket.
+    ) -> Mapping[str, Mapping[str, int]]:
+        """Identifier→{address: refcount} mapping of one bucket.
 
-        Returned by reference for speed — treat as read-only.
+        A read-only decoded view over the live columnar storage: iteration
+        yields identifier values in insertion order, lookups decode lazily.
         """
-        return self._members.get((protocol, family), {})
+        bucket = self._buckets[_bucket_code(protocol, family)]
+        if bucket is None:
+            return {}
+        return _BucketMembers(bucket.members, self._identifiers, self._addresses)
 
     def bucket_asn(self, protocol: ServiceType, family: AddressFamily) -> dict[str, int]:
-        """Live address→ASN mapping of one bucket (treat as read-only)."""
-        return self._asn.get((protocol, family), {})
+        """Address→ASN mapping of one bucket.
+
+        Materialised from the ASN columns on demand and memoised until the
+        bucket's next ASN mutation; treat as read-only.
+        """
+        bucket = self._buckets[_bucket_code(protocol, family)]
+        if bucket is None:
+            return {}
+        cache = bucket.asn_cache
+        if cache is None:
+            addr_values = self._addresses.values
+            refs = bucket.asn_refs
+            values = bucket.asn_values
+            cache = bucket.asn_cache = {
+                addr_values[sym]: values[sym]
+                for sym in range(len(refs))
+                if refs[sym]
+            }
+        return cache
 
     def state_signature(self) -> dict:
         """Canonical, order-insensitive rendering of the index contents.
@@ -355,21 +728,50 @@ class ObservationIndex:
         them.  Empty buckets and identifiers are dropped, so an index that
         shrank matches a from-scratch build of the surviving observations.
         """
+        ident_values = self._identifiers.values
+        addr_values = self._addresses.values
         members: dict = {}
-        for bucket_key, identifiers in self._members.items():
+        asn: dict = {}
+        for code, bucket in enumerate(self._buckets):
+            if bucket is None:
+                continue
+            key = _BUCKET_KEYS[code]
             cleaned = {
-                value: dict(addresses)
-                for value, addresses in identifiers.items()
-                if addresses
+                ident_values[ident_sym]: {
+                    addr_values[sym]: count for sym, count in counts.items()
+                }
+                for ident_sym, counts in bucket.members.items()
+                if counts
             }
             if cleaned:
-                members[bucket_key] = cleaned
-        asn = {key: dict(mapping) for key, mapping in self._asn.items() if mapping}
+                members[key] = cleaned
+            bucket_asn = self.bucket_asn(*key)
+            if bucket_asn:
+                asn[key] = dict(bucket_asn)
         return {
             "observed": self._observed,
             "indexed": self._indexed,
             "members": members,
             "asn": asn,
+        }
+
+    def stats(self) -> dict:
+        """Build statistics for diagnostics (``repro resolve --stats``)."""
+        buckets = {}
+        for code, bucket in enumerate(self._buckets):
+            if bucket is None or not bucket.members:
+                continue
+            protocol, family = _BUCKET_KEYS[code]
+            buckets[f"{protocol.value}:{family.value}"] = {
+                "identifiers": len(bucket.members),
+                "member_cells": sum(len(counts) for counts in bucket.members.values()),
+            }
+        return {
+            "observed": self._observed,
+            "indexed": self._indexed,
+            "address_symbols": len(self._addresses),
+            "identifier_symbols": len(self._identifiers),
+            "buckets": buckets,
         }
 
     def alias_sets(
@@ -379,18 +781,22 @@ class ObservationIndex:
         name: str | None = None,
     ) -> AliasSetCollection:
         """The ``(protocol, family)`` alias-set collection, from the index."""
-        bucket_key = (protocol, family)
-        members = self._members.get(bucket_key, {})
         collection = AliasSetCollection(
             name or f"{protocol.value}:{family.value}",
-            address_asn=self._asn.get(bucket_key, {}),
+            address_asn=self.bucket_asn(protocol, family),
         )
+        bucket = self._buckets[_bucket_code(protocol, family)]
+        if bucket is None:
+            return collection
+        ident_values = self._identifiers.values
+        decode_address = self._addresses.values.__getitem__
         protocols = frozenset((protocol,))
-        for value, addresses in members.items():
-            collection.add(
+        add = collection.add
+        for ident_sym, counts in bucket.members.items():
+            add(
                 AliasSet(
-                    identifier=value,
-                    addresses=frozenset(addresses),
+                    identifier=ident_values[ident_sym],
+                    addresses=frozenset(map(decode_address, counts)),
                     protocols=protocols,
                 )
             )
@@ -400,23 +806,28 @@ class ObservationIndex:
         self, protocol: ServiceType, name: str | None = None
     ) -> DualStackCollection:
         """Dual-stack sets for ``protocol``: identifiers seen in both families."""
-        ipv4_members = self._members.get((protocol, AddressFamily.IPV4), {})
-        ipv6_members = self._members.get((protocol, AddressFamily.IPV6), {})
-        address_asn = dict(self._asn.get((protocol, AddressFamily.IPV4), {}))
-        address_asn.update(self._asn.get((protocol, AddressFamily.IPV6), {}))
+        ipv4_bucket = self._buckets[_bucket_code(protocol, AddressFamily.IPV4)]
+        ipv6_bucket = self._buckets[_bucket_code(protocol, AddressFamily.IPV6)]
+        address_asn = dict(self.bucket_asn(protocol, AddressFamily.IPV4))
+        address_asn.update(self.bucket_asn(protocol, AddressFamily.IPV6))
         collection = DualStackCollection(
             name or protocol.value, address_asn=address_asn
         )
+        if ipv4_bucket is None or ipv6_bucket is None:
+            return collection
+        ident_values = self._identifiers.values
+        decode_address = self._addresses.values.__getitem__
         protocols = frozenset((protocol,))
-        for value, ipv4_addresses in ipv4_members.items():
-            ipv6_addresses = ipv6_members.get(value)
-            if not ipv6_addresses:
+        ipv6_members = ipv6_bucket.members
+        for ident_sym, ipv4_counts in ipv4_bucket.members.items():
+            ipv6_counts = ipv6_members.get(ident_sym)
+            if not ipv6_counts:
                 continue
             collection.add(
                 DualStackSet(
-                    identifier=value,
-                    ipv4_addresses=frozenset(ipv4_addresses),
-                    ipv6_addresses=frozenset(ipv6_addresses),
+                    identifier=ident_values[ident_sym],
+                    ipv4_addresses=frozenset(map(decode_address, ipv4_counts)),
+                    ipv6_addresses=frozenset(map(decode_address, ipv6_counts)),
                     protocols=protocols,
                 )
             )

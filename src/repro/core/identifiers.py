@@ -74,14 +74,15 @@ def ssh_identifier(
     Requires at least the host key fingerprint; the banner and the capability
     signature are added according to ``options``.
     """
-    fingerprint = observation.field("host_key_fingerprint")
+    fields = dict(observation.fields)
+    fingerprint = fields.get("host_key_fingerprint")
     if fingerprint is None:
         return None
     parts = [fingerprint]
     if options.ssh_include_banner:
-        parts.append(observation.field("banner", ""))
+        parts.append(fields.get("banner", ""))
     if options.ssh_include_capabilities:
-        capability_signature = observation.field("capability_signature")
+        capability_signature = fields.get("capability_signature")
         if capability_signature is None:
             return None
         parts.append(capability_signature)
@@ -92,19 +93,20 @@ def bgp_identifier(
     observation: Observation, options: IdentifierOptions = DEFAULT_OPTIONS
 ) -> DeviceIdentifier | None:
     """Build the BGP identifier for an observation, if an OPEN was received."""
-    bgp_id = observation.field("bgp_identifier")
+    fields = dict(observation.fields)
+    bgp_id = fields.get("bgp_identifier")
     if bgp_id is None:
         return None
     parts = [
         bgp_id,
-        observation.field("asn", ""),
-        observation.field("version", ""),
-        observation.field("message_length", ""),
+        fields.get("asn", ""),
+        fields.get("version", ""),
+        fields.get("message_length", ""),
     ]
     if options.bgp_include_hold_time:
-        parts.append(observation.field("hold_time", ""))
+        parts.append(fields.get("hold_time", ""))
     if options.bgp_include_capabilities:
-        parts.append(observation.field("capabilities", ""))
+        parts.append(fields.get("capabilities", ""))
     return DeviceIdentifier(protocol=ServiceType.BGP, value=_digest(*parts))
 
 

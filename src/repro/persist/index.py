@@ -9,6 +9,18 @@ recomputed from the rebuilt index on load and must match — a snapshot that
 restores to a different resolution state fails loudly with
 :class:`~repro.errors.PersistError` instead of silently corrupting every
 report derived from it.
+
+Format version 2 mirrors the columnar index core: the document carries the
+index's two interned symbol tables (``addresses``, ``identifiers``) once,
+and every bucket as flat symbol/count lists —
+``members: [[identifier_symbol, [address_symbol, count, ...]], ...]`` and
+``asn: [address_symbol, asn, refs, ...]``.  Each distinct string appears
+exactly once no matter how many buckets reference it, so v2 documents are
+substantially smaller than the v1 nested string dicts.  Version 1 documents
+(pre-columnar snapshots, including everything embedded in PR-5 session and
+campaign checkpoints) still load through a read-compat path; the digest is
+computed from the canonical state signature, which is format-independent,
+so a v1 snapshot and its v2 re-save carry the same signature.
 """
 
 from __future__ import annotations
@@ -25,8 +37,8 @@ from repro.net.addresses import AddressFamily
 from repro.persist.files import read_json_document, write_atomic
 from repro.simnet.device import ServiceType
 
-#: Current index snapshot format version.
-INDEX_FORMAT_VERSION = 1
+#: Current index snapshot format version (written; versions 1-2 are read).
+INDEX_FORMAT_VERSION = 2
 
 
 def _bucket_tag(bucket_key: tuple[ServiceType, AddressFamily]) -> str:
@@ -43,8 +55,8 @@ def state_signature_digest(index: ObservationIndex) -> str:
     """SHA-256 over the canonical JSON rendering of the index signature.
 
     Two indexes that would derive identical report collections produce
-    equal digests regardless of construction history — the property the
-    load-time parity assertion relies on.
+    equal digests regardless of construction history *or snapshot format
+    version* — the property the load-time parity assertion relies on.
     """
     signature = index.state_signature()
     canonical = {
@@ -58,32 +70,73 @@ def state_signature_digest(index: ObservationIndex) -> str:
 
 
 def index_to_document(index: ObservationIndex) -> dict:
-    """Render an index as a JSON-serialisable snapshot document."""
-    state = index.export_state()
-    bucket_keys = sorted(
-        set(state["members"]) | set(state["asn"]) | set(state["asn_refs"]),
-        key=_bucket_tag,
-    )
+    """Render an index as a JSON-serialisable snapshot document (version 2)."""
+    state = index.export_columnar()
     return {
         "version": INDEX_FORMAT_VERSION,
         "options": dataclasses.asdict(index.options),
         "observed": state["observed"],
         "indexed": state["indexed"],
+        "addresses": state["addresses"],
+        "identifiers": state["identifiers"],
         "buckets": [
             {
                 "bucket": _bucket_tag(key),
-                "members": state["members"].get(key, {}),
-                "asn": state["asn"].get(key, {}),
-                "asn_refs": state["asn_refs"].get(key, {}),
+                "members": payload["members"],
+                "asn": payload["asn"],
             }
-            for key in bucket_keys
+            for key, payload in sorted(
+                state["buckets"].items(), key=lambda item: _bucket_tag(item[0])
+            )
         ],
         "signature": state_signature_digest(index),
     }
 
 
+def _state_from_v1(document: dict) -> dict:
+    """Decode a version-1 (nested string dict) document into index state."""
+    state: dict = {
+        "observed": document["observed"],
+        "indexed": document["indexed"],
+        "members": {},
+        "asn": {},
+        "asn_refs": {},
+    }
+    for bucket in document["buckets"]:
+        key = _bucket_key(bucket["bucket"])
+        state["members"][key] = {
+            value: {address: int(count) for address, count in addresses.items()}
+            for value, addresses in bucket["members"].items()
+        }
+        state["asn"][key] = {address: int(asn) for address, asn in bucket["asn"].items()}
+        state["asn_refs"][key] = {
+            address: int(count) for address, count in bucket["asn_refs"].items()
+        }
+    return state
+
+
+def _state_from_v2(document: dict) -> dict:
+    """Decode a version-2 (interned columnar) document into columnar state."""
+    return {
+        "observed": document["observed"],
+        "indexed": document["indexed"],
+        "addresses": document["addresses"],
+        "identifiers": document["identifiers"],
+        "buckets": {
+            _bucket_key(bucket["bucket"]): {
+                "members": bucket["members"],
+                "asn": bucket["asn"],
+            }
+            for bucket in document["buckets"]
+        },
+    }
+
+
 def index_from_document(document: dict) -> ObservationIndex:
     """Rebuild an index from a snapshot document, asserting signature parity.
+
+    Accepts format versions 1 (nested string dicts) and 2 (interned
+    columnar); both restore through the same digest parity check.
 
     Raises:
         PersistError: on an unsupported version, a malformed document, or a
@@ -92,33 +145,23 @@ def index_from_document(document: dict) -> ObservationIndex:
     """
     try:
         version = document["version"]
-        if version != INDEX_FORMAT_VERSION:
+        if version not in (1, 2):
             raise PersistError(f"unsupported index snapshot version {version!r}")
         options = IdentifierOptions(**document["options"])
-        state: dict = {
-            "observed": document["observed"],
-            "indexed": document["indexed"],
-            "members": {},
-            "asn": {},
-            "asn_refs": {},
-        }
-        for bucket in document["buckets"]:
-            key = _bucket_key(bucket["bucket"])
-            state["members"][key] = {
-                value: {address: int(count) for address, count in addresses.items()}
-                for value, addresses in bucket["members"].items()
-            }
-            state["asn"][key] = {address: int(asn) for address, asn in bucket["asn"].items()}
-            state["asn_refs"][key] = {
-                address: int(count) for address, count in bucket["asn_refs"].items()
-            }
+        if version == 1:
+            state = _state_from_v1(document)
+        else:
+            state = _state_from_v2(document)
         expected = document["signature"]
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise PersistError(f"malformed index snapshot document: {exc}") from exc
     try:
-        index = ObservationIndex.from_state(state, options)
+        if version == 1:
+            index = ObservationIndex.from_state(state, options)
+        else:
+            index = ObservationIndex.from_columnar(state, options)
     except DatasetError as exc:
         raise PersistError(f"malformed index snapshot document: {exc}") from exc
     actual = state_signature_digest(index)

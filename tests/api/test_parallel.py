@@ -99,7 +99,7 @@ class TestIndexMerge:
     def test_merge_requires_matching_options(self):
         left = ObservationIndex()
         right = ObservationIndex(IdentifierOptions(ssh_include_banner=False))
-        with pytest.raises(DatasetError):
+        with pytest.raises(ValueError, match="different identifier options"):
             left.merge(right)
 
     def test_merged_removal_still_exact(self):

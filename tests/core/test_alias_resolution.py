@@ -159,11 +159,14 @@ class TestUnionFind:
         # stress the iterative find on a hand-built worst-case chain.
         union_find = UnionFind()
         length = 5000
-        union_find._parent.update({item: item + 1 for item in range(length)})
-        union_find._parent[length] = length
+        for item in range(length + 1):
+            union_find.add(item)
+        core = union_find._core
+        for index in range(length):
+            core._parent[index] = index + 1
         assert union_find.find(0) == length
         # The chain is fully compressed afterwards.
-        assert all(union_find._parent[item] == length for item in range(length))
+        assert all(core._parent[index] == length for index in range(length))
 
     def test_rank_keeps_api_built_chains_shallow(self):
         union_find = UnionFind()

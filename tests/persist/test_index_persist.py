@@ -123,11 +123,70 @@ class TestIndexFailureModes:
         path = tmp_path / "index.json"
         save_index(index, path)
         document = json.loads(path.read_text())
-        # Flip one refcount: the recomputed signature must not match.
-        bucket = document["buckets"][0]
-        value = next(iter(bucket["members"]))
-        address = next(iter(bucket["members"][value]))
-        bucket["members"][value][address] += 1
+        # Flip one refcount: the recomputed signature must not match.  A v2
+        # member row is [identifier_symbol, [address_symbol, count, ...]].
+        cells = document["buckets"][0]["members"][0][1]
+        cells[1] += 1
         path.write_text(json.dumps(document))
         with pytest.raises(PersistError, match="parity"):
             load_index(path)
+
+
+def _v1_document(index):
+    """Hand-build the version-1 (nested string dict) snapshot of ``index``."""
+    import dataclasses
+
+    from repro.persist.index import _bucket_tag
+
+    state = index.export_state()
+    bucket_keys = sorted(
+        set(state["members"]) | set(state["asn"]) | set(state["asn_refs"]),
+        key=_bucket_tag,
+    )
+    return {
+        "version": 1,
+        "options": dataclasses.asdict(index.options),
+        "observed": state["observed"],
+        "indexed": state["indexed"],
+        "buckets": [
+            {
+                "bucket": _bucket_tag(key),
+                "members": state["members"].get(key, {}),
+                "asn": state["asn"].get(key, {}),
+                "asn_refs": state["asn_refs"].get(key, {}),
+            }
+            for key in bucket_keys
+        ],
+        "signature": state_signature_digest(index),
+    }
+
+
+class TestV1ReadCompat:
+    """Pre-columnar (PR-5) snapshots must keep loading byte-for-byte."""
+
+    def test_v1_document_loads(self, index):
+        loaded = index_from_document(_v1_document(index))
+        assert loaded.state_signature() == index.state_signature()
+        assert loaded.observed == index.observed
+        assert loaded.options == index.options
+
+    def test_v1_and_v2_share_signature_digest(self, index):
+        v1 = index_from_document(_v1_document(index))
+        v2 = index_from_document(index_to_document(index))
+        assert state_signature_digest(v1) == state_signature_digest(v2)
+        assert _v1_document(index)["signature"] == index_to_document(index)["signature"]
+
+    def test_v1_resave_upgrades_to_v2(self, index, tmp_path):
+        loaded = index_from_document(_v1_document(index))
+        path = tmp_path / "resaved.json"
+        save_index(loaded, path)
+        document = json.loads(path.read_text())
+        assert document["version"] == 2
+        assert load_index(path).state_signature() == index.state_signature()
+
+    def test_v1_supports_removal_replay(self, index):
+        loaded = index_from_document(_v1_document(index))
+        removed = _observation("10.0.0.2")
+        index.remove(removed)
+        loaded.remove(removed)
+        assert loaded.state_signature() == index.state_signature()

@@ -77,6 +77,30 @@ class TestScanAndResolve:
             parallel_dir / "ipv4_alias_sets.json"
         ).read_text()
 
+    def test_resolve_stats_reports_build(self, tmp_path, capsys):
+        scan_dir = tmp_path / "scan"
+        assert main(["scan", "--scale", "0.1", "--seed", "3", "--output", str(scan_dir)]) == 0
+        assert (
+            main(
+                [
+                    "resolve",
+                    str(scan_dir / "active.jsonl"),
+                    "--output",
+                    str(tmp_path / "out"),
+                    "--stats",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "index build statistics:" in output
+        assert "interned addresses:" in output
+        assert "interned identifiers:" in output
+        assert "build path:" in output
+        assert "shared-memory" in output
+
 
 class TestCliErrorPaths:
     def test_scan_unknown_source(self, tmp_path, capsys):
