@@ -1,0 +1,125 @@
+"""Diff fresh benchmark trajectories against the committed baselines.
+
+The repo root carries one ``BENCH_<module>.json`` per benchmark module,
+recorded at ``REPRO_BENCH_SCALE=0.2`` — the same scale the CI bench smoke
+runs at.  This script compares a fresh ``--bench-json`` output directory
+against those baselines:
+
+* **Hard failures** (exit 1): a baseline module with no fresh
+  counterpart, a baseline record name missing from the fresh run, or a
+  record whose ``asserted`` flag regressed from ``true`` to ``false``
+  (a perf assertion that used to arm no longer does).
+* **Warnings** (exit 0): timing fields (``*seconds*`` keys,
+  ``overhead_fraction``) slower than baseline beyond the tolerance, and
+  ``speedup`` fields below baseline beyond it.  CI machines are noisy;
+  timings inform, they do not gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py \
+        --baseline . --fresh bench-results
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fractional slowdown (or speedup loss) beyond which a timing warning fires.
+TIMING_TOLERANCE = 0.25
+
+
+def _is_timing_key(key: str) -> bool:
+    return "seconds" in key or key == "overhead_fraction"
+
+
+def _load_modules(directory: Path) -> dict[str, dict]:
+    modules = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        modules[path.stem.removeprefix("BENCH_")] = json.loads(path.read_text())
+    return modules
+
+
+def _records_by_name(document: dict) -> dict[str, dict]:
+    return {record["name"]: record for record in document.get("records", ())}
+
+
+def compare(baseline_dir: Path, fresh_dir: Path) -> tuple[list[str], list[str]]:
+    """Return (hard failures, warnings) from diffing the two directories."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    baselines = _load_modules(baseline_dir)
+    fresh = _load_modules(fresh_dir)
+    if not baselines:
+        failures.append(f"no BENCH_*.json baselines found in {baseline_dir}")
+        return failures, warnings
+
+    for module, baseline in sorted(baselines.items()):
+        if module not in fresh:
+            failures.append(f"{module}: no fresh BENCH_{module}.json produced")
+            continue
+        baseline_records = _records_by_name(baseline)
+        fresh_records = _records_by_name(fresh[module])
+        for name, old in sorted(baseline_records.items()):
+            new = fresh_records.get(name)
+            if new is None:
+                failures.append(f"{module}/{name}: record missing from fresh run")
+                continue
+            if old.get("asserted") is True and new.get("asserted") is False:
+                failures.append(
+                    f"{module}/{name}: 'asserted' regressed true -> false "
+                    "(a perf assertion no longer arms)"
+                )
+            for key, old_value in old.items():
+                new_value = new.get(key)
+                if not isinstance(old_value, (int, float)) or isinstance(
+                    old_value, bool
+                ):
+                    continue
+                if not isinstance(new_value, (int, float)) or isinstance(
+                    new_value, bool
+                ):
+                    continue
+                if _is_timing_key(key) and old_value > 0:
+                    slowdown = (new_value - old_value) / old_value
+                    if slowdown > TIMING_TOLERANCE:
+                        warnings.append(
+                            f"{module}/{name}.{key}: {old_value:.4f} -> "
+                            f"{new_value:.4f} (+{100 * slowdown:.0f}%)"
+                        )
+                elif key == "speedup" and old_value > 0:
+                    loss = (old_value - new_value) / old_value
+                    if loss > TIMING_TOLERANCE:
+                        warnings.append(
+                            f"{module}/{name}.{key}: {old_value:.2f}x -> "
+                            f"{new_value:.2f}x (-{100 * loss:.0f}%)"
+                        )
+    return failures, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=Path("."), help="directory of committed baselines"
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True, help="fresh --bench-json output directory"
+    )
+    args = parser.parse_args(argv)
+
+    failures, warnings = compare(args.baseline, args.fresh)
+    for line in warnings:
+        print(f"warning: {line}")
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures:
+        print(f"{len(failures)} hard failure(s); timings warn only.")
+        return 1
+    print(
+        f"bench baselines OK: {len(warnings)} timing warning(s), no parity regressions."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

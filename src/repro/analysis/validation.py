@@ -68,6 +68,25 @@ def validation_table(
     return render_table(_HEADERS, validation_rows(reports), title=title)
 
 
+def probe_accounting_summary(reports: Iterable[ValidationReport]) -> str:
+    """The CLI's bank probe-accounting line for a composed validation.
+
+    Sums probe spend across the reports and states the composed-validator
+    saving: what fraction of the total sample demand the shared IPID bank
+    answered without touching the network.
+    """
+    issued = sum(report.probes_issued for report in reports)
+    reused = sum(report.probes_reused for report in reports)
+    demanded = issued + reused
+    line = (
+        f"issued {issued} IPID probes; answered {reused} probes "
+        "from the shared sample bank"
+    )
+    if reused and demanded:
+        line += f" ({100 * reused / demanded:.1f}% of sample demand saved)"
+    return line
+
+
 def snapshot_validation_rows(rows: Iterable[SnapshotValidation]) -> list[list[object]]:
     """One row per validated campaign snapshot."""
     return [

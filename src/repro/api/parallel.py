@@ -41,6 +41,7 @@ from array import array
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.core.engine import AliasReport, ObservationIndex, ResolutionEngine
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions
 from repro.core.symbols import SymbolTable
@@ -107,12 +108,48 @@ class ParallelBuildStats:
     merge_seconds: float = 0.0
 
 
-_LAST_BUILD_STATS = threading.local()
-
-
 def last_build_stats() -> ParallelBuildStats | None:
-    """Stats of the most recent index build on this thread, if any."""
-    return getattr(_LAST_BUILD_STATS, "stats", None)
+    """Stats of the most recent index build on this thread, if any.
+
+    .. deprecated::
+        The stats now live in the observability layer — this accessor is a
+        thin shim over ``repro.obs.metrics().last_build_stats()`` kept for
+        existing callers (including ``repro resolve --stats``).  New code
+        should read the registry directly.
+    """
+    return obs.metrics().last_build_stats()
+
+
+def _record_build_stats(stats: ParallelBuildStats) -> None:
+    """Publish one build's stats: registry diagnostic slot plus metrics.
+
+    The per-thread diagnostic slot is always written (it is what
+    :func:`last_build_stats` and ``repro resolve --stats`` read); the
+    counter/gauge/histogram samples only land when observability is on.
+    """
+    obs.metrics().record_build_stats(stats)
+    if not obs.is_enabled():
+        return
+    obs.add("parallel.build.runs", 1, transport=stats.transport)
+    obs.add("parallel.build.observations", stats.observations)
+    obs.set_gauge("parallel.build.workers", stats.workers)
+    if stats.shard_sizes:
+        obs.set_gauge("parallel.build.shards", len(stats.shard_sizes))
+        obs.set_gauge("parallel.build.shard_max", max(stats.shard_sizes))
+    for stage, seconds in (
+        ("pack", stats.pack_seconds),
+        ("build", stats.build_seconds),
+        ("merge", stats.merge_seconds),
+    ):
+        if seconds:
+            obs.observe("parallel.build.seconds", seconds, stage=stage)
+    obs.emit(
+        "parallel.build",
+        transport=stats.transport,
+        workers=stats.workers,
+        observations=stats.observations,
+        shard_sizes=list(stats.shard_sizes),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -353,44 +390,58 @@ def build_index_parallel(
         observations if isinstance(observations, list) else list(observations)
     )
     workers = min(resolve_workers(workers), max(1, len(observation_list)))
-    if workers == 1:
-        start = time.perf_counter()
-        index = ObservationIndex.build(observation_list, options)
-        _LAST_BUILD_STATS.stats = ParallelBuildStats(
-            transport="serial",
-            workers=1,
-            observations=len(observation_list),
-            build_seconds=time.perf_counter() - start,
-        )
-        return index
-
-    shards = shard_observations(observation_list, workers)
-    pack_seconds = 0.0
-    build_start = time.perf_counter()
-    if _shared_memory is not None:
-        try:
-            shard_indexes, transport, pack_seconds = _run_shared_memory(
-                shards, workers, options
+    with obs.span("index.build", workers=workers) as build_span:
+        if workers == 1:
+            start = time.perf_counter()
+            index = ObservationIndex.build(observation_list, options)
+            stats = ParallelBuildStats(
+                transport="serial",
+                workers=1,
+                observations=len(observation_list),
+                build_seconds=time.perf_counter() - start,
             )
-        except OSError:  # pragma: no cover - e.g. /dev/shm missing or full
-            shard_indexes, transport = _run_legacy(shards, workers, options)
-    else:  # pragma: no cover - no shared_memory module
-        shard_indexes, transport = _run_legacy(shards, workers, options)
-    build_seconds = time.perf_counter() - build_start - pack_seconds
+            _record_build_stats(stats)
+            if obs.is_enabled():
+                build_span.attrs["transport"] = stats.transport
+            return index
 
-    merge_start = time.perf_counter()
-    merged = ObservationIndex(options)
-    for shard_index in shard_indexes:
-        merged.merge(shard_index)
-    _LAST_BUILD_STATS.stats = ParallelBuildStats(
-        transport=transport,
-        workers=workers,
-        observations=len(observation_list),
-        shard_sizes=tuple(len(shard) for shard in shards),
-        pack_seconds=pack_seconds,
-        build_seconds=build_seconds,
-        merge_seconds=time.perf_counter() - merge_start,
-    )
+        shards = shard_observations(observation_list, workers)
+        pack_seconds = 0.0
+        build_start = time.perf_counter()
+        if _shared_memory is not None:
+            try:
+                shard_indexes, transport, pack_seconds = _run_shared_memory(
+                    shards, workers, options
+                )
+            except OSError:  # pragma: no cover - e.g. /dev/shm missing or full
+                shard_indexes, transport = _run_legacy(shards, workers, options)
+        else:  # pragma: no cover - no shared_memory module
+            shard_indexes, transport = _run_legacy(shards, workers, options)
+        build_seconds = time.perf_counter() - build_start - pack_seconds
+
+        merge_start = time.perf_counter()
+        with obs.span("index.build.merge", shards=len(shard_indexes)):
+            merged = ObservationIndex(options)
+            for shard_index in shard_indexes:
+                merged.merge(shard_index)
+        stats = ParallelBuildStats(
+            transport=transport,
+            workers=workers,
+            observations=len(observation_list),
+            shard_sizes=tuple(len(shard) for shard in shards),
+            pack_seconds=pack_seconds,
+            build_seconds=build_seconds,
+            merge_seconds=time.perf_counter() - merge_start,
+        )
+        _record_build_stats(stats)
+        if obs.is_enabled():
+            build_span.attrs.update(
+                transport=transport,
+                shard_sizes=list(stats.shard_sizes),
+                pack_seconds=pack_seconds,
+                build_seconds=build_seconds,
+                merge_seconds=stats.merge_seconds,
+            )
     return merged
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import functools
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+from repro import obs
 from repro.api.parallel import resolve_parallel
 from repro.api.plan import PlanResult, ScanPlan, run_scan_plan
 from repro.api.sources import (
@@ -117,7 +118,11 @@ class ReproSession:
         spec = self.spec(source)
         dataset = self._datasets.get(spec)
         if dataset is None:
-            dataset = self._datasets[spec] = build_source(self, spec)
+            obs.add("session.cache", 1, kind="dataset", outcome="miss")
+            with obs.span("session.dataset", kind=spec.kind):
+                dataset = self._datasets[spec] = build_source(self, spec)
+        else:
+            obs.add("session.cache", 1, kind="dataset", outcome="hit")
         return dataset
 
     def observations(self, source: str | SourceSpec) -> Iterator[Observation]:
@@ -186,15 +191,19 @@ class ReproSession:
             name = source if isinstance(source, str) else self._default_name(spec)
         key = (spec, name)
         if key not in self._reports:
-            observations = self._stream(spec)
-            if workers > 1:
-                self._reports[key] = resolve_parallel(
-                    list(observations), name=name, workers=workers, options=self.options
-                )
-            else:
-                self._reports[key] = run_alias_resolution(
-                    observations, name=name, options=self.options
-                )
+            obs.add("session.cache", 1, kind="report", outcome="miss")
+            with obs.span("session.report", name=name, workers=workers):
+                observations = self._stream(spec)
+                if workers > 1:
+                    self._reports[key] = resolve_parallel(
+                        list(observations), name=name, workers=workers, options=self.options
+                    )
+                else:
+                    self._reports[key] = run_alias_resolution(
+                        observations, name=name, options=self.options
+                    )
+        else:
+            obs.add("session.cache", 1, kind="report", outcome="hit")
         return self._reports[key]
 
     def run_plan(self, plan: ScanPlan | None = None) -> PlanResult:
@@ -240,7 +249,11 @@ class ReproSession:
             name = validator if isinstance(validator, str) else display_name(spec)
         key = (spec, name)
         if key not in self._validations:
-            self._validations[key] = run_validator(self.validation_run, spec)
+            obs.add("session.cache", 1, kind="validation", outcome="miss")
+            with obs.span("session.validate", name=name):
+                self._validations[key] = run_validator(self.validation_run, spec)
+        else:
+            obs.add("session.cache", 1, kind="validation", outcome="hit")
         return self._validations[key]
 
     # ------------------------------------------------------------------ #

@@ -41,9 +41,11 @@ tests).  Run ``python -m repro --help`` for details.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.analysis.report import alias_report_markdown
 from repro.analysis.stability import (
     stability_markdown,
@@ -52,12 +54,13 @@ from repro.analysis.stability import (
     stability_table_from,
 )
 from repro.analysis.validation import (
+    probe_accounting_summary,
     snapshot_validation_table,
     validation_markdown,
     validation_table,
 )
 from repro.api.experiments import all_experiments, get_experiment
-from repro.api.parallel import build_index_parallel, last_build_stats
+from repro.api.parallel import build_index_parallel
 from repro.core.engine import ResolutionEngine
 from repro.api.plan import ScanPlan
 from repro.api.session import ReproSession
@@ -94,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SOURCE",
         help="registered sources to collect (default: active censys; see --list-sources)",
     )
+    _add_metrics_flag(scan)
     scan.add_argument(
         "--list-sources",
         action="store_true",
@@ -115,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print index build statistics (counts, interned table sizes, build path)",
     )
+    _add_metrics_flag(resolve)
 
     experiments = subparsers.add_parser("experiments", help="regenerate the paper's tables and figures")
     experiments.add_argument("--scale", type=float, default=1.0)
@@ -198,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume the campaign checkpointed in DIR (ignores --scale/--seed/"
         "--churn/--interval-days/--ipv4-only: they come from the checkpoint)",
     )
+    _add_metrics_flag(longitudinal)
     longitudinal.add_argument(
         "--keep",
         type=int,
@@ -254,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--output", type=Path, default=None, help="optional directory for validation.md"
     )
+    _add_metrics_flag(validate)
 
     session = subparsers.add_parser(
         "session", help="persist and restore measurement sessions"
@@ -295,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_metrics_flag(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--metrics FILE`` observability flag."""
+    subparser.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="enable metrics + span tracing for this command and write the "
+        "registry to FILE (JSON; Prometheus text when FILE ends in .prom "
+        "or .txt)",
+    )
+
+
+def _write_metrics(path: Path, registry: obs.MetricsRegistry) -> None:
+    """Render the registry to ``path`` (format chosen by suffix)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(registry.prometheus_text())
+    else:
+        path.write_text(json.dumps(registry.to_json(), indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def _session(args: argparse.Namespace) -> ReproSession:
     return ReproSession(ScenarioConfig(scale=args.scale, seed=args.seed))
 
@@ -329,7 +359,7 @@ def _command_scan(args: argparse.Namespace) -> int:
 def _print_index_stats(index) -> None:
     """Print the --stats block: index counts, table sizes, build path."""
     stats = index.stats()
-    build = last_build_stats()
+    build = obs.metrics().last_build_stats()
     print("index build statistics:")
     print(f"  observed observations:   {stats['observed']}")
     print(f"  indexed observations:    {stats['indexed']}")
@@ -515,6 +545,7 @@ def _longitudinal_resume(args: argparse.Namespace) -> int:
         checkpoint.scenario,
         prior_stability=checkpoint.stability,
         keep=args.keep,
+        prior_metric_series=checkpoint.metric_series,
     )
     result = campaign.run(
         checkpointer=checkpointer,
@@ -566,12 +597,7 @@ def _command_validate(args: argparse.Namespace) -> int:
     reports = [session.validate(name) for name, _ in names]
     print(validation_table(reports))
     print()
-    total_issued = sum(report.probes_issued for report in reports)
-    total_reused = sum(report.probes_reused for report in reports)
-    print(
-        f"issued {total_issued} IPID probes; answered {total_reused} probes "
-        "from the shared sample bank"
-    )
+    print(probe_accounting_summary(reports))
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
         path = args.output / "validation.md"
@@ -704,7 +730,18 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path is None:
+        return handler(args)
+    # --metrics: run the whole command under a fresh registry and a root
+    # span, then render the registry to the requested file.  Reports are
+    # byte-identical either way — the instrumented seams only record.
+    with obs.observed() as registry:
+        with obs.trace(f"cli.{args.command}"):
+            exit_code = handler(args)
+    _write_metrics(metrics_path, registry)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

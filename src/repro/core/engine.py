@@ -56,6 +56,7 @@ from repro.core.identifiers import (
 )
 from repro.core.symbols import SymbolTable
 from repro.errors import DatasetError
+from repro import obs
 from repro.net.addresses import AddressFamily, family_of
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
@@ -388,20 +389,63 @@ class ObservationIndex:
         self._indexed -= 1
         return True
 
+    def _publish_gauges(self) -> None:
+        """Publish symbol-table and dirty-set level gauges.
+
+        Called at batch seams only (never per observation) so the enabled
+        cost stays a handful of dict operations per ``extend``/``merge``/
+        ``apply_delta``, and the disabled cost is one boolean check.
+        """
+        obs.set_gauge("index.symbols.interned", len(self._addresses), kind="address")
+        obs.set_gauge(
+            "index.symbols.interned", len(self._identifiers), kind="identifier"
+        )
+        obs.set_gauge(
+            "index.dirty.identifiers",
+            sum(len(bucket.dirty) for bucket in self._buckets if bucket is not None),
+        )
+
     def extend(self, observations: Iterable[Observation]) -> None:
         """Index many observations."""
         add = self.add
+        if not obs.is_enabled():
+            for observation in observations:
+                add(observation)
+            return
+        observed_before, indexed_before = self._observed, self._indexed
         for observation in observations:
             add(observation)
+        obs.add("index.observations.observed", self._observed - observed_before)
+        obs.add("index.observations.indexed", self._indexed - indexed_before)
+        self._publish_gauges()
+        obs.emit(
+            "index.ingest",
+            observations=self._observed - observed_before,
+            indexed=self._indexed - indexed_before,
+        )
 
     def apply_delta(
         self, removed: Iterable[Observation], added: Iterable[Observation]
     ) -> None:
         """Replay an observation delta: removals first, then additions."""
+        if not obs.is_enabled():
+            for observation in removed:
+                self.remove(observation)
+            for observation in added:
+                self.add(observation)
+            return
+        dropped = 0
         for observation in removed:
             self.remove(observation)
+            dropped += 1
+        grown = 0
         for observation in added:
             self.add(observation)
+            grown += 1
+        obs.add("index.delta.removed", dropped)
+        obs.add("index.delta.added", grown)
+        self._publish_gauges()
+        obs.emit("index.delta", removed=dropped, added=grown)
 
     def merge(self, other: "ObservationIndex") -> "ObservationIndex":
         """Fold ``other``'s contents into this index; returns ``self``.
@@ -483,6 +527,9 @@ class ObservationIndex:
                 bucket.asn_cache = None
         self._observed += other._observed
         self._indexed += other._indexed
+        if obs.is_enabled():
+            obs.add("index.merge.observations", other._observed)
+            self._publish_gauges()
         return self
 
     # ------------------------------------------------------------------ #
@@ -963,10 +1010,15 @@ class ResolutionEngine:
 
     def index(self, observations: Iterable[Observation]) -> ObservationIndex:
         """Stage 1: build the observation index in a single pass."""
-        return ObservationIndex.build(observations, self._options)
+        with obs.span("engine.index"):
+            return ObservationIndex.build(observations, self._options)
 
     def report(self, index: ObservationIndex, name: str = "dataset") -> AliasReport:
         """Stage 2: derive every report collection from an existing index."""
+        with obs.span("engine.report", name=name):
+            return self._report(index, name)
+
+    def _report(self, index: ObservationIndex, name: str) -> AliasReport:
         ipv4 = {
             protocol: index.alias_sets(
                 protocol, AddressFamily.IPV4, name=f"{name}:{protocol.value}:ipv4"

@@ -22,6 +22,7 @@ import dataclasses
 import random
 from typing import Iterable
 
+from repro import obs
 from repro.core.engine import AliasReport
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions
 from repro.errors import SimulationError
@@ -197,6 +198,39 @@ class SnapshotResolution:
                 delta.disrupted_previous, changed_current, churned
             ),
         )
+
+
+#: Name of the registry series longitudinal campaigns publish rows to.
+CAMPAIGN_SERIES = "campaign.snapshots"
+
+
+def snapshot_metrics_row(
+    campaign: "LongitudinalCampaign", resolved: SnapshotResolution
+) -> dict:
+    """One metric-series row for a resolved snapshot.
+
+    Every field is a function of the campaign's deterministic state —
+    simulated time, observation/delta counts, IPv4 union-set stability, and
+    the network's cumulative IDS probe spend.  No wall-clock quantity ever
+    enters a row (timings belong to spans and histograms), which is what
+    lets a resumed campaign's persisted series equal the uninterrupted
+    run's snapshot-for-snapshot.
+    """
+    stability = resolved.stability()
+    return {
+        "snapshot": resolved.capture.index,
+        "time": resolved.capture.time,
+        "observations": len(resolved.capture.observations),
+        "added": stability.added,
+        "removed": stability.removed,
+        "churned": len(resolved.capture.churned),
+        "sets": stability.sets,
+        "splits": stability.splits,
+        "churn_attributed_splits": stability.churn_attributed_splits,
+        "disrupted": stability.disrupted,
+        "persistence": stability.persistence,
+        "probes": sum(campaign.network.export_probe_counts().values()),
+    }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -426,10 +460,17 @@ class LongitudinalCampaign:
         engine = engine or LongitudinalEngine(self._options)
         resolutions: list[SnapshotResolution] = []
         for snapshot in range(start, self._config.snapshots):
-            capture = self._capture(snapshot, previous)
-            resolved = self._resolve_one(engine, capture)
+            with obs.span("campaign.snapshot", snapshot=snapshot):
+                capture = self._capture(snapshot, previous)
+                resolved = self._resolve_one(engine, capture)
             resolutions.append(resolved)
             previous = capture.observations
+            if obs.is_enabled():
+                row = snapshot_metrics_row(self, resolved)
+                obs.metrics().append_series(CAMPAIGN_SERIES, row)
+                obs.add("campaign.snapshots.resolved", 1)
+                obs.add("campaign.observations", row["observations"])
+                obs.emit("campaign.snapshot", **row)
             if checkpointer is not None:
                 checkpointer.save(self, engine, resolved)
         return CampaignResult(config=self._config, snapshots=tuple(resolutions))

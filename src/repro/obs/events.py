@@ -1,0 +1,61 @@
+"""Structured JSONL event sink.
+
+Events are the narrative complement to metrics: where a counter says *how
+many* observations were indexed, an event says *that an ingest happened*,
+with whatever context the emitting seam attaches.  Each event is one JSON
+object on one line::
+
+    {"event": "index.ingest", "observations": 5000, "source": "union"}
+
+The sink is append-only and flushes per line, so a crashed run still
+leaves a readable prefix.  Like every other obs surface it sits behind the
+module-level enable switch: :func:`repro.obs.emit` is a no-op unless a
+sink has been installed *and* observability is enabled.
+
+Events deliberately carry no wall-clock timestamp by default — the
+pipeline is deterministic and report-parity tests diff its outputs, so the
+sink must never smuggle nondeterminism into anything derived from it.
+Callers that want real timestamps can pass their own field.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.errors import DatasetError
+
+
+class EventSink:
+    """Writes structured events as JSON Lines to a file or stream."""
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            try:
+                self._stream = open(target, "a", encoding="utf-8")
+            except OSError as exc:
+                raise DatasetError(f"cannot open event sink {target}: {exc}") from exc
+            self._owned = True
+        self.emitted = 0
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Write one event line (``event`` key first, fields sorted)."""
+        record = {"event": event}
+        record.update(sorted(fields.items()))
+        self._stream.write(json.dumps(record, default=str) + "\n")
+        self._stream.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owned:
+            self._stream.close()
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

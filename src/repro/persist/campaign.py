@@ -46,6 +46,7 @@ from repro.longitudinal.campaign import (
     LongitudinalConfig,
     SnapshotResolution,
     SnapshotStability,
+    snapshot_metrics_row,
 )
 from repro.longitudinal.engine import LongitudinalEngine
 from repro.net.addresses import AddressFamily
@@ -91,6 +92,7 @@ class CampaignCheckpointer:
         scenario: ScenarioConfig,
         prior_stability: dict[str, list[dict]] | None = None,
         keep: int = 1,
+        prior_metric_series: list[dict] | None = None,
     ) -> None:
         if keep < 1:
             raise PersistError("a checkpointer must keep at least one snapshot")
@@ -100,6 +102,19 @@ class CampaignCheckpointer:
         self._stability: dict[str, list[dict]] = {
             tag: list((prior_stability or {}).get(tag, ())) for tag in _FAMILY_TAGS.values()
         }
+        self._metric_series: list[dict] = list(prior_metric_series or ())
+
+    @property
+    def metric_series(self) -> list[dict]:
+        """The accumulated per-snapshot metric rows (shared, read-only).
+
+        One :func:`~repro.longitudinal.campaign.snapshot_metrics_row` per
+        saved snapshot, prior rows from a loaded checkpoint included.  The
+        rows are computed from deterministic campaign state regardless of
+        whether observability is enabled, so a resumed campaign's persisted
+        series equals the uninterrupted run's snapshot-for-snapshot.
+        """
+        return self._metric_series
 
     def save(
         self,
@@ -119,6 +134,7 @@ class CampaignCheckpointer:
         directory.mkdir(parents=True, exist_ok=True)
         for family, tag in _FAMILY_TAGS.items():
             self._stability[tag].append(dataclasses.asdict(resolved.stability(family)))
+        self._metric_series.append(snapshot_metrics_row(campaign, resolved))
         capture = resolved.capture
         completed = capture.index + 1
         index_file = f"index-{completed:04d}.json"
@@ -154,6 +170,7 @@ class CampaignCheckpointer:
                 )
             ],
             "stability": self._stability,
+            "metric_series": self._metric_series,
             "retained": self._retained_numbers(directory, completed),
         }
         # The manifest lands last: whatever it describes is already on disk.
@@ -214,6 +231,10 @@ class LoadedCheckpoint:
             IDS state as the uninterrupted run.
         stability: per-family stability rows of the completed snapshots,
             as manifest dicts (feed back into a checkpointer on resume).
+        metric_series: per-snapshot metric rows of the completed snapshots
+            (:func:`~repro.longitudinal.campaign.snapshot_metrics_row`);
+            feed back into a checkpointer on resume so the persisted series
+            stays equal to an uninterrupted run's.
     """
 
     directory: Path
@@ -228,6 +249,7 @@ class LoadedCheckpoint:
     index: ObservationIndex
     probe_counts: dict[tuple[str, int, int], int]
     stability: dict[str, list[dict]]
+    metric_series: list[dict] = dataclasses.field(default_factory=list)
 
     def stability_rows(self, family: AddressFamily) -> list[SnapshotStability]:
         """The completed snapshots' stability metrics for one family."""
@@ -275,6 +297,7 @@ def load_checkpoint(directory: str | Path) -> LoadedCheckpoint:
             tag: list(manifest["stability"].get(tag, ()))
             for tag in _FAMILY_TAGS.values()
         }
+        metric_series = [dict(row) for row in manifest.get("metric_series", ())]
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -317,6 +340,7 @@ def load_checkpoint(directory: str | Path) -> LoadedCheckpoint:
         index=index,
         probe_counts=probe_counts,
         stability=stability,
+        metric_series=metric_series,
     )
 
 

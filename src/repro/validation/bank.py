@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.baselines.ipid import IpidTimeSeries, collect_interleaved, collect_series
 from repro.simnet.network import SimulatedInternet, VantagePoint
 
@@ -50,6 +51,20 @@ class IpidSampleBank:
         self._pairs: dict[frozenset[str], ScheduleKey] = {}
         self._probes_issued = 0
         self._probes_reused = 0
+
+    def _count(self, outcome: str, probes: int) -> None:
+        """Track one collection's probe spend (private tally + registry).
+
+        Called per *collection* (a batch of probes), never per probe, so
+        the counter cost stays off the simulated-network hot path.
+        """
+        if outcome == "issued":
+            self._probes_issued += probes
+        else:
+            self._probes_reused += probes
+        obs.add(
+            "validation.probes", probes, outcome=outcome, vantage=self._vantage.name
+        )
 
     @property
     def network(self) -> SimulatedInternet:
@@ -78,7 +93,7 @@ class IpidSampleBank:
         key = ("series", address, samples, interval, start_time)
         cached = self._series.get(key)
         if cached is not None:
-            self._probes_reused += samples
+            self._count("reused", samples)
             return cached
         collected = collect_series(
             self._network,
@@ -88,7 +103,7 @@ class IpidSampleBank:
             interval=interval,
             start_time=start_time,
         )
-        self._probes_issued += samples
+        self._count("issued", samples)
         self._series[key] = collected
         return collected
 
@@ -104,7 +119,7 @@ class IpidSampleBank:
         key = ("interleaved", members, rounds, interval, start_time)
         cached = self._interleaved.get(key)
         if cached is not None:
-            self._probes_reused += rounds * len(members)
+            self._count("reused", rounds * len(members))
             return cached
         collected = collect_interleaved(
             self._network,
@@ -114,7 +129,7 @@ class IpidSampleBank:
             interval=interval,
             start_time=start_time,
         )
-        self._probes_issued += rounds * len(members)
+        self._count("issued", rounds * len(members))
         self._interleaved[key] = collected
         for position, left in enumerate(members):
             for right in members[position + 1 :]:
@@ -142,5 +157,5 @@ class IpidSampleBank:
         if requested_probes is None:
             banked_rounds = key[2]
             requested_probes = 2 * banked_rounds
-        self._probes_reused += requested_probes
+        self._count("reused", requested_probes)
         return self._interleaved[key]

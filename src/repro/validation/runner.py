@@ -21,6 +21,7 @@ import dataclasses
 import random
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.baselines.iffinder import IffinderProber
 from repro.baselines.ptr import PtrResolver
 from repro.core.engine import AliasReport
@@ -81,6 +82,15 @@ class ValidationRun:
             bank = self._banks[key] = IpidSampleBank(self.network, vantage)
         return bank
 
+    def banks(self) -> dict[tuple[str, str, bool], IpidSampleBank]:
+        """Every bank built so far, keyed by vantage identity (read-only).
+
+        The probe-accounting surface: summing ``probes_issued`` /
+        ``probes_reused`` over the values gives the run's total spend, the
+        same totals the obs layer's ``validation.probes`` counters carry.
+        """
+        return self._banks
+
 
 def run_validator(
     run: ValidationRun,
@@ -90,7 +100,8 @@ def run_validator(
 ) -> ValidationReport:
     """Execute one validator spec tree and return its report."""
     builder = VALIDATOR_KINDS.get(spec.kind)
-    return builder(run, spec, candidates, start_time)
+    with obs.span("validator.run", kind=spec.kind):
+        return builder(run, spec, candidates, start_time)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,96 @@
+"""The persisted campaign metric series: determinism and resume equality."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.longitudinal.campaign import CAMPAIGN_SERIES, snapshot_metrics_row
+from repro.persist.campaign import (
+    CampaignCheckpointer,
+    load_checkpoint,
+    resume_campaign,
+)
+
+_CONFIG = ScenarioConfig(scale=0.05, seed=3)
+_SNAPSHOTS = 3
+
+
+def _campaign(snapshots=_SNAPSHOTS):
+    return ReproSession(_CONFIG).longitudinal(
+        snapshots=snapshots, churn_fraction=0.02, include_ipv6=False
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("full")
+    campaign = _campaign()
+    checkpointer = CampaignCheckpointer(directory, _CONFIG)
+    campaign.run(checkpointer=checkpointer)
+    return directory, checkpointer
+
+
+class TestMetricSeries:
+    def test_one_row_per_snapshot(self, uninterrupted):
+        _, checkpointer = uninterrupted
+        rows = checkpointer.metric_series
+        assert [row["snapshot"] for row in rows] == list(range(_SNAPSHOTS))
+        for row in rows:
+            assert row["observations"] > 0
+            assert row["probes"] > 0
+
+    def test_rows_carry_no_wall_clock_fields(self, uninterrupted):
+        _, checkpointer = uninterrupted
+        for row in checkpointer.metric_series:
+            assert "seconds" not in row
+            # simulated time advances by the configured interval
+        times = [row["time"] for row in checkpointer.metric_series]
+        assert times == sorted(times)
+
+    def test_manifest_persists_the_series(self, uninterrupted):
+        directory, checkpointer = uninterrupted
+        manifest = json.loads((directory / "checkpoint.json").read_text())
+        assert manifest["metric_series"] == checkpointer.metric_series
+
+    def test_resumed_series_equals_uninterrupted(self, uninterrupted, tmp_path):
+        full_directory, full_checkpointer = uninterrupted
+        partial = tmp_path / "partial"
+        campaign = _campaign(snapshots=2)
+        checkpointer = CampaignCheckpointer(partial, _CONFIG)
+        campaign.run(checkpointer=checkpointer)
+
+        checkpoint = load_checkpoint(partial)
+        assert checkpoint.metric_series == full_checkpointer.metric_series[:2]
+        resumed_campaign, engine = resume_campaign(checkpoint, snapshots=_SNAPSHOTS)
+        resumed_checkpointer = CampaignCheckpointer(
+            partial,
+            checkpoint.scenario,
+            prior_stability=checkpoint.stability,
+            prior_metric_series=checkpoint.metric_series,
+        )
+        resumed_campaign.run(
+            checkpointer=resumed_checkpointer,
+            start=checkpoint.completed,
+            previous=checkpoint.last_observations,
+            engine=engine,
+        )
+        assert resumed_checkpointer.metric_series == full_checkpointer.metric_series
+        manifest = json.loads((partial / "checkpoint.json").read_text())
+        full_manifest = json.loads((full_directory / "checkpoint.json").read_text())
+        assert manifest["metric_series"] == full_manifest["metric_series"]
+
+    def test_registry_series_matches_persisted_series(self, uninterrupted):
+        _, checkpointer = uninterrupted
+        with obs.observed() as registry:
+            campaign = _campaign()
+            campaign.run()
+        assert registry.series(CAMPAIGN_SERIES) == checkpointer.metric_series
+
+    def test_row_fields_are_json_scalars(self):
+        campaign = _campaign(snapshots=1)
+        result = campaign.run()
+        row = snapshot_metrics_row(campaign, result.snapshots[0])
+        assert json.loads(json.dumps(row)) == row

@@ -1,0 +1,85 @@
+"""Property tests: registry merges are order-independent.
+
+The parallel build and any future multi-process publisher fold per-shard
+registries into one; correctness of that fold is exactly commutativity +
+associativity of :meth:`MetricsRegistry.merge` per metric family.  Values
+are integers so equality is exact (float addition would only be
+order-independent up to rounding).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry
+
+_NAMES = st.sampled_from(["a", "b.c", "probes", "cache"])
+_LABELS = st.dictionaries(
+    st.sampled_from(["kind", "outcome", "stage"]),
+    st.sampled_from(["x", "y", "z"]),
+    max_size=2,
+)
+
+_COUNTER_OPS = st.lists(
+    st.tuples(_NAMES, st.integers(min_value=0, max_value=10**6), _LABELS),
+    max_size=12,
+)
+_GAUGE_OPS = st.lists(
+    st.tuples(_NAMES, st.integers(min_value=-100, max_value=10**6), _LABELS),
+    max_size=8,
+)
+_HISTOGRAM_OPS = st.lists(
+    st.tuples(_NAMES, st.integers(min_value=0, max_value=100), _LABELS),
+    max_size=12,
+)
+
+
+def _build(counters, gauges, histograms) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, amount, labels in counters:
+        registry.inc(name, amount, **labels)
+    for name, value, labels in gauges:
+        registry.set_gauge(name, value, **labels)
+    for name, value, labels in histograms:
+        registry.observe(name, value, **labels)
+    return registry
+
+
+_REGISTRIES = st.builds(_build, _COUNTER_OPS, _GAUGE_OPS, _HISTOGRAM_OPS)
+
+
+def _merged(*registries: MetricsRegistry) -> dict:
+    target = MetricsRegistry()
+    for registry in registries:
+        target.merge(registry)
+    return target.to_json()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_REGISTRIES, _REGISTRIES)
+def test_merge_commutes(one, two):
+    assert _merged(one, two) == _merged(two, one)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_REGISTRIES, _REGISTRIES, _REGISTRIES)
+def test_merge_associates(one, two, three):
+    left = MetricsRegistry().merge(one).merge(two)
+    right = MetricsRegistry().merge(two).merge(three)
+    assert (
+        MetricsRegistry().merge(left).merge(three).to_json()
+        == MetricsRegistry().merge(one).merge(right).to_json()
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_REGISTRIES)
+def test_merge_into_empty_is_identity(registry):
+    merged = MetricsRegistry().merge(registry).to_json()
+    assert merged == registry.to_json()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_REGISTRIES)
+def test_merge_survives_json_round_trip(registry):
+    rebuilt = MetricsRegistry.from_json(registry.to_json())
+    assert MetricsRegistry().merge(rebuilt).to_json() == registry.to_json()
