@@ -23,6 +23,11 @@ The CLI mirrors how the paper's artifacts would be used in practice:
   registry) against the session's alias sets, sharing one IPID sample
   bank; ``--snapshots N`` instead validates every snapshot of a churning
   longitudinal campaign (the paper's MIDAR-disagreement series).
+* ``repro serve`` — run the streaming resolution daemon: poll the
+  simulated Internet as a live event source, keep the alias report
+  current through the incremental engine, publish typed change events,
+  and infer the churn rate online (``--checkpoint``/``--resume`` give the
+  daemon kill-and-resume durability).
 * ``repro session save`` / ``repro session load`` — persist a measurement
   session (datasets, resolved reports, validations, configuration) and
   restore it in another process with its caches warm.
@@ -72,7 +77,14 @@ from repro.experiments import runner
 from repro.io.datasets import load_observations, save_alias_sets, save_observations
 from repro.net.addresses import AddressFamily
 from repro.persist.campaign import CampaignCheckpointer, load_checkpoint, resume_campaign
+from repro.persist.stream import (
+    StreamCheckpointer,
+    load_stream_checkpoint,
+    resume_stream,
+)
 from repro.sources.records import iter_observations
+from repro.stream.daemon import DaemonConfig, StreamDaemon
+from repro.stream.engine import StreamConfig, StreamingEngine
 from repro.validation.longitudinal import validate_snapshots
 from repro.validation.runner import ValidationRun
 from repro.validation.spec import VALIDATORS
@@ -176,12 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.02,
         help="fraction of addresses reassigned between snapshots (default 0.02)",
     )
-    longitudinal.add_argument(
-        "--interval-days",
-        type=float,
-        default=7.0,
-        help="simulated days between snapshots (default 7)",
-    )
+    _add_interval_days_flag(longitudinal, "snapshots")
     longitudinal.add_argument(
         "--ipv4-only", action="store_true", help="skip the IPv6 hitlist scans"
     )
@@ -246,12 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.02,
         help="campaign churn fraction for --snapshots mode (default 0.02)",
     )
-    validate.add_argument(
-        "--interval-days",
-        type=float,
-        default=7.0,
-        help="simulated days between campaign snapshots (default 7)",
-    )
+    _add_interval_days_flag(validate, "campaign snapshots")
     validate.add_argument(
         "--ipv4-only",
         action="store_true",
@@ -261,6 +263,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, help="optional directory for validation.md"
     )
     _add_metrics_flag(validate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the streaming resolution daemon over a churning network",
+    )
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--churn",
+        type=float,
+        default=0.02,
+        help="fraction of addresses reassigned between polls (default 0.02)",
+    )
+    _add_interval_days_flag(serve, "daemon polls")
+    serve.add_argument(
+        "--max-batches",
+        type=int,
+        default=4,
+        metavar="N",
+        help="stop after N polls (default 4)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wall-clock seconds to sleep between polls (default 0: poll "
+        "back-to-back)",
+    )
+    serve.add_argument(
+        "--emit-every-changes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally emit a report whenever N observation changes "
+        "accumulate (default: one emit per poll)",
+    )
+    serve.add_argument(
+        "--ipv4-only", action="store_true", help="skip the IPv6 hitlist scans"
+    )
+    serve.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist a resumable daemon checkpoint to DIR after every poll",
+    )
+    serve.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="resume the daemon checkpointed in DIR (ignores --scale/--seed/"
+        "--churn/--interval-days/--ipv4-only: they come from the checkpoint)",
+    )
+    _add_metrics_flag(serve)
 
     session = subparsers.add_parser(
         "session", help="persist and restore measurement sessions"
@@ -300,6 +358,40 @@ def build_parser() -> argparse.ArgumentParser:
         "(no names: render all registered ones)",
     )
     return parser
+
+
+def _add_interval_days_flag(
+    subparser: argparse.ArgumentParser, between: str
+) -> None:
+    """Attach the shared ``--interval-days`` campaign-cadence flag.
+
+    Every campaign-shaped subcommand (longitudinal, validate --snapshots,
+    serve) takes the same flag with the same default; ``between`` names
+    what the interval separates in the help text.
+    """
+    subparser.add_argument(
+        "--interval-days",
+        type=float,
+        default=7.0,
+        help=f"simulated days between {between} (default 7)",
+    )
+
+
+def _campaign_rate_error(args: argparse.Namespace) -> str | None:
+    """Usage error in the shared campaign-shape flags, if any.
+
+    ``--interval-days`` must be positive and ``--churn`` inside [0, 1) —
+    the same bounds :class:`~repro.longitudinal.campaign.LongitudinalConfig`
+    enforces, rejected here as a usage error (exit code 2) instead of a
+    traceback.
+    """
+    interval_days = getattr(args, "interval_days", None)
+    if interval_days is not None and interval_days <= 0:
+        return f"--interval-days must be positive (got {interval_days})"
+    churn = getattr(args, "churn", None)
+    if churn is not None and not 0.0 <= churn < 1.0:
+        return f"--churn must be in [0, 1) (got {churn})"
+    return None
 
 
 def _add_metrics_flag(subparser: argparse.ArgumentParser) -> None:
@@ -492,6 +584,9 @@ def _command_longitudinal(args: argparse.Namespace) -> int:
     if args.keep < 1:
         print("--keep must retain at least one snapshot checkpoint", file=sys.stderr)
         return 2
+    if (error := _campaign_rate_error(args)) is not None:
+        print(error, file=sys.stderr)
+        return 2
     if args.resume is not None:
         return _longitudinal_resume(args)
     snapshots = args.snapshots if args.snapshots is not None else 4
@@ -586,6 +681,9 @@ def _command_validate(args: argparse.Namespace) -> int:
         print("no validators requested: pass --validators with at least one "
               "name (see repro validate --list-validators)", file=sys.stderr)
         return 2
+    if (error := _campaign_rate_error(args)) is not None:
+        print(error, file=sys.stderr)
+        return 2
     try:
         names = [(name, VALIDATORS.get(name)) for name in args.validators]
     except RegistryError as error:
@@ -634,6 +732,105 @@ def _validate_snapshots(args: argparse.Namespace, session, names) -> int:
         path.write_text(validation_markdown([], snapshot_series=series))
         print()
         print(f"wrote {path}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if (error := _campaign_rate_error(args)) is not None:
+        print(error, file=sys.stderr)
+        return 2
+    if args.max_batches < 1:
+        print("--max-batches must be at least 1", file=sys.stderr)
+        return 2
+    if args.poll_interval < 0:
+        print("--poll-interval cannot be negative", file=sys.stderr)
+        return 2
+    if args.emit_every_changes is not None and args.emit_every_changes < 1:
+        print("--emit-every-changes must be at least 1", file=sys.stderr)
+        return 2
+    start = 0
+    previous = None
+    if args.resume is not None:
+        try:
+            loaded = load_stream_checkpoint(args.resume)
+            campaign, stream = resume_stream(loaded)
+        except DatasetError as error:  # PersistError included — it subclasses this
+            print(str(error), file=sys.stderr)
+            return 2
+        scenario = loaded.scenario
+        start = loaded.completed
+        previous = loaded.last_observations
+        print(
+            f"resuming after poll {start - 1} "
+            f"({stream.emitted} reports already emitted)"
+        )
+    else:
+        session = _session(args)
+        scenario = session.config
+        interval = args.interval_days * 86400.0
+        campaign = session.longitudinal(
+            snapshots=args.max_batches,
+            churn_fraction=args.churn,
+            interval=interval,
+            include_ipv6=not args.ipv4_only,
+        )
+        stream = StreamingEngine(
+            config=StreamConfig(
+                emit_every_changes=args.emit_every_changes,
+                churn_interval=interval,
+            ),
+            options=campaign.options,
+        )
+    checkpointer = None
+    checkpoint_dir = args.checkpoint if args.checkpoint is not None else args.resume
+    if checkpoint_dir is not None:
+        checkpointer = StreamCheckpointer(checkpoint_dir, scenario)
+    daemon = StreamDaemon(
+        campaign,
+        stream,
+        config=DaemonConfig(
+            max_polls=args.max_batches, poll_interval=args.poll_interval
+        ),
+        checkpointer=checkpointer,
+        start=start,
+        previous=previous,
+    )
+    restore_handlers = daemon.install_signal_handlers()
+    try:
+        for update in daemon.updates():
+            report = update.events[-1].to_fields()
+            estimate = (
+                "-" if update.churn_rate is None else f"{update.churn_rate:.4f}"
+            )
+            print(
+                f"emit {update.emit} ({update.name}): "
+                f"{report['observations']} observations "
+                f"(+{report['added']}/-{report['removed']}), "
+                f"{report['ipv4_sets']} IPv4 sets, "
+                f"{len(update.events)} events, churn~{estimate}"
+            )
+    finally:
+        restore_handlers()
+    published = sum(stream.publisher.counts.values())
+    print(
+        f"served {daemon.polls - start} polls, {stream.emitted} reports, "
+        f"{published} events published"
+    )
+    final = stream.report
+    if final is not None:
+        print(
+            "final IPv4 non-singleton union sets: "
+            f"{len(final.ipv4_union.non_singleton())}"
+        )
+    if stream.estimator.rate is not None:
+        days = stream.estimator.interval / 86400.0
+        print(
+            f"estimated churn rate: {stream.estimator.rate:.4f} "
+            f"per {days:g}-day interval "
+            f"(configured: {campaign.config.churn_fraction})"
+        )
+    if checkpointer is not None:
+        print(f"checkpointed {daemon.polls} polls to {checkpoint_dir}")
     return 0
 
 
@@ -723,6 +920,7 @@ _COMMANDS = {
     "plan": _command_plan,
     "longitudinal": _command_longitudinal,
     "validate": _command_validate,
+    "serve": _command_serve,
     "session": _command_session,
 }
 

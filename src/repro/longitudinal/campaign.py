@@ -351,7 +351,7 @@ class LongitudinalCampaign:
             time = config.start_time + snapshot * config.interval
             self._inject_churn(snapshot, switch_time=time - config.interval / 2)
 
-    def _capture(
+    def capture(
         self, snapshot: int, previous: tuple[Observation, ...] | None
     ) -> SnapshotCapture:
         """Inject churn, scan, and diff one snapshot against ``previous``.
@@ -361,6 +361,11 @@ class LongitudinalCampaign:
         per-snapshot ``churned`` attribution also picks up churn the
         network already carried (e.g. the topology generator's built-in
         events) whose switch time falls inside the interval.
+
+        Public because the streaming daemon (:mod:`repro.stream.daemon`)
+        drives the simnet as a live event source through exactly this
+        method — one poll is one capture — so a daemon poll sequence is
+        observation-for-observation the campaign's snapshot sequence.
         """
         config = self._config
         time = config.start_time + snapshot * config.interval
@@ -401,7 +406,7 @@ class LongitudinalCampaign:
             )
         captures: list[SnapshotCapture] = []
         for snapshot in range(start, self._config.snapshots):
-            capture = self._capture(snapshot, previous)
+            capture = self.capture(snapshot, previous)
             captures.append(capture)
             previous = capture.observations
         return captures
@@ -461,7 +466,7 @@ class LongitudinalCampaign:
         resolutions: list[SnapshotResolution] = []
         for snapshot in range(start, self._config.snapshots):
             with obs.span("campaign.snapshot", snapshot=snapshot):
-                capture = self._capture(snapshot, previous)
+                capture = self.capture(snapshot, previous)
                 resolved = self._resolve_one(engine, capture)
             resolutions.append(resolved)
             previous = capture.observations

@@ -288,20 +288,31 @@ class LongitudinalEngine:
         """Resolve the first snapshot (a plain full index build)."""
         if self._previous is not None:
             raise DatasetError("engine already bootstrapped; apply() deltas instead")
-        for observation in observations:
-            self._add(observation)
+        self.stage((), observations)
         return self._refresh(name)
 
     def apply(self, delta: ObservationDelta, name: str) -> IncrementalResolution:
-        """Re-resolve after one snapshot's observation delta.
+        """Re-resolve after one snapshot's observation delta."""
+        if self._previous is None:
+            raise DatasetError("engine not bootstrapped; call bootstrap() first")
+        self.stage(delta.removed, delta.added)
+        return self._refresh(name)
 
+    def stage(
+        self,
+        removed: Iterable[Observation],
+        added: Iterable[Observation],
+    ) -> None:
+        """Replay an observation delta against the index without deriving.
+
+        This is the ingest half of :meth:`apply`, split out so a streaming
+        caller can absorb many micro-deltas cheaply and pay for collection
+        derivation only when an emit trigger fires (:meth:`derive`).
         Removals replay before additions so an identifier whose membership
         merely rotates passes through a consistent intermediate state.
         """
-        if self._previous is None:
-            raise DatasetError("engine not bootstrapped; call bootstrap() first")
         identifiers = self._identifiers
-        for observation in delta.removed:
+        for observation in removed:
             # pop, not get: evicting on removal keeps the cache bounded by
             # the live index plus the current delta instead of growing with
             # every content key the campaign has ever seen.  A duplicate
@@ -310,8 +321,17 @@ class LongitudinalEngine:
             if identifier is _MISSING:
                 identifier = extract_identifier(observation, self._options)
             self._index.remove(observation, identifier)
-        for observation in delta.added:
+        for observation in added:
             self._add(observation)
+
+    def derive(self, name: str) -> IncrementalResolution:
+        """Derive the report of everything staged since the last derivation.
+
+        The first derivation doubles as the bootstrap; later ones re-derive
+        only what the staged deltas dirtied, exactly like :meth:`apply` —
+        ``stage(removed, added)`` followed by ``derive(name)`` is
+        equivalent to ``apply(delta, name)`` step for step.
+        """
         return self._refresh(name)
 
     def _add(self, observation: Observation) -> None:

@@ -28,7 +28,15 @@ from repro.errors import DatasetError
 
 
 class EventSink:
-    """Writes structured events as JSON Lines to a file or stream."""
+    """Writes structured events as JSON Lines to a file or stream.
+
+    A closed sink refuses further use: :meth:`emit` after :meth:`close`
+    raises :class:`~repro.errors.DatasetError` instead of writing to a
+    dead file handle (for owned files) or silently succeeding past the
+    caller's lifecycle (for borrowed streams, which ``close`` does not
+    touch but still seals).  Re-entering a closed sink as a context
+    manager fails the same way.
+    """
 
     def __init__(self, target: str | Path | IO[str]) -> None:
         if hasattr(target, "write"):
@@ -41,9 +49,27 @@ class EventSink:
                 raise DatasetError(f"cannot open event sink {target}: {exc}") from exc
             self._owned = True
         self.emitted = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether the sink has been closed."""
+        return self._closed
 
     def emit(self, event: str, **fields: object) -> None:
-        """Write one event line (``event`` key first, fields sorted)."""
+        """Write one event line (``event`` key first, fields sorted).
+
+        Each line is flushed before returning, so a killed process leaves
+        every emitted event durable on disk.
+
+        Raises:
+            DatasetError: when the sink is already closed.
+        """
+        if self._closed:
+            raise DatasetError(
+                f"event sink is closed: cannot emit {event!r} "
+                "(install a fresh sink instead of reusing a closed one)"
+            )
         record = {"event": event}
         record.update(sorted(fields.items()))
         self._stream.write(json.dumps(record, default=str) + "\n")
@@ -51,10 +77,19 @@ class EventSink:
         self.emitted += 1
 
     def close(self) -> None:
+        """Seal the sink; closes the underlying file only when owned.
+
+        Idempotent — closing twice is fine, emitting afterwards is not.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._owned:
             self._stream.close()
 
     def __enter__(self) -> "EventSink":
+        if self._closed:
+            raise DatasetError("event sink is closed: cannot re-enter it")
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -1,0 +1,197 @@
+"""Always-on resolution daemon driving the simnet as a live event source.
+
+One daemon poll is one simulated scan: it advances the simnet by one
+churn interval through
+:meth:`~repro.longitudinal.campaign.LongitudinalCampaign.capture` (churn
+injection, both-family scan, ground-truth attribution), reconciles the
+scan into the :class:`~repro.stream.engine.StreamingEngine` via
+:meth:`~repro.stream.engine.StreamingEngine.sync`, and — when the
+engine's own triggers did not already emit during the sync — flushes
+explicitly, so every poll publishes at least one report.  The emitted
+labels are the campaign's snapshot labels, which keeps the daemon's
+reports byte-comparable to a batch campaign over the same simnet.
+
+The loop is built to be killed:
+
+* :meth:`StreamDaemon.stop` (or SIGINT/SIGTERM once
+  :meth:`StreamDaemon.install_signal_handlers` ran) finishes the poll in
+  flight and exits cleanly;
+* a :class:`~repro.persist.stream.StreamCheckpointer` persists a
+  consistent state after every poll, so a daemon killed between polls
+  resumes from its checkpoint to the same reports an uninterrupted run
+  produces (``repro serve --resume``);
+* ``max_polls`` bounds the run for smoke tests and CI.
+
+Wall-clock pacing (``poll_interval`` seconds between polls) exists for
+running against a terminal as a live demo; tests and benchmarks leave it
+at zero and the loop spins as fast as the simnet scans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import time
+from typing import Iterator
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.longitudinal.campaign import LongitudinalCampaign
+from repro.sources.records import Observation
+
+from repro.stream.engine import StreamingEngine, StreamUpdate
+
+
+@dataclasses.dataclass(frozen=True)
+class DaemonConfig:
+    """Shape of a daemon run.
+
+    Attributes:
+        max_polls: stop after this many polls (``None`` runs until
+            stopped; the CLI default is the campaign's snapshot count).
+        poll_interval: wall-clock seconds to sleep between polls (live
+            pacing; zero polls back-to-back).
+        checkpoint_every: checkpoint after every Nth poll (1 = every
+            poll; checkpoints only happen when a checkpointer is given).
+    """
+
+    max_polls: int | None = None
+    poll_interval: float = 0.0
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_polls is not None and self.max_polls < 1:
+            raise SimulationError("max_polls must be at least 1")
+        if self.poll_interval < 0:
+            raise SimulationError("poll_interval cannot be negative")
+        if self.checkpoint_every < 1:
+            raise SimulationError("checkpoint_every must be at least 1")
+
+
+class StreamDaemon:
+    """Polls the simnet and feeds the streaming engine until stopped."""
+
+    def __init__(
+        self,
+        campaign: LongitudinalCampaign,
+        stream: StreamingEngine,
+        config: DaemonConfig | None = None,
+        checkpointer=None,
+        start: int = 0,
+        previous: tuple[Observation, ...] | None = None,
+    ) -> None:
+        """Wire a daemon to its event source.
+
+        ``start``/``previous`` resume from a checkpoint: ``start`` is the
+        number of completed polls and ``previous`` the last poll's
+        observations (:func:`repro.persist.stream.resume_stream` supplies
+        both).
+        """
+        if start and previous is None:
+            raise SimulationError(
+                "resuming a daemon needs the previous poll's observations"
+            )
+        self._campaign = campaign
+        self._stream = stream
+        self._config = config or DaemonConfig()
+        self._checkpointer = checkpointer
+        self._poll = start
+        self._previous = previous
+        self._stopped = False
+
+    @property
+    def stream(self) -> StreamingEngine:
+        """The streaming engine the daemon feeds."""
+        return self._stream
+
+    @property
+    def campaign(self) -> LongitudinalCampaign:
+        """The simnet event source."""
+        return self._campaign
+
+    @property
+    def polls(self) -> int:
+        """Completed polls (including checkpointed ones on resume)."""
+        return self._poll
+
+    @property
+    def stopped(self) -> bool:
+        """Whether a stop was requested."""
+        return self._stopped
+
+    def stop(self, *_signal_args) -> None:
+        """Request a graceful stop after the poll in flight."""
+        self._stopped = True
+
+    def install_signal_handlers(self):
+        """Route SIGINT/SIGTERM to :meth:`stop` (main thread only).
+
+        Returns a zero-argument callable restoring the handlers that were
+        installed before — run it once the daemon loop exits so an
+        in-process caller (the CLI under test, a notebook) gets its
+        interrupt behaviour back.
+        """
+        previous = {
+            signum: signal.getsignal(signum)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        }
+        for signum in previous:
+            signal.signal(signum, self.stop)
+
+        def restore() -> None:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+        return restore
+
+    def poll_once(self) -> tuple[StreamUpdate, ...]:
+        """Run one poll: capture, sync, emit, checkpoint.
+
+        Returns every update the poll emitted (trigger-driven emits
+        during the sync plus the explicit end-of-poll flush when no
+        trigger fired).
+        """
+        poll = self._poll
+        with obs.span("stream.poll", poll=poll):
+            capture = self._campaign.capture(poll, self._previous)
+            updates = self._stream.sync(capture.observations)
+            if not updates:
+                updates = (self._stream.flush(),)
+        self._previous = capture.observations
+        self._poll = poll + 1
+        if obs.is_enabled():
+            obs.add("stream.polls")
+            obs.add("stream.observations", len(capture.observations))
+        if (
+            self._checkpointer is not None
+            and self._poll % self._config.checkpoint_every == 0
+        ):
+            self._checkpointer.save(
+                campaign=self._campaign,
+                stream=self._stream,
+                completed=self._poll,
+                last_name=updates[-1].name,
+                observations=capture.observations,
+            )
+        return updates
+
+    def updates(self) -> Iterator[StreamUpdate]:
+        """Poll until stopped, yielding every emitted update.
+
+        The generator form of :meth:`run` — a caller can react to each
+        report as it lands (the ``examples/stream_watch.py`` loop) and
+        still get graceful-stop and checkpointing semantics.
+        """
+        limit = self._config.max_polls
+        completed = 0
+        while not self._stopped and (limit is None or completed < limit):
+            yield from self.poll_once()
+            completed += 1
+            if self._stopped or (limit is not None and completed >= limit):
+                break
+            if self._config.poll_interval > 0:
+                time.sleep(self._config.poll_interval)
+
+    def run(self) -> list[StreamUpdate]:
+        """Poll until stopped or ``max_polls``; return every update."""
+        return list(self.updates())

@@ -170,3 +170,62 @@ class TestDiffAliasSets:
         assert counts["born"] == 1
         assert counts["dissolved"] == 1
         assert counts["unchanged"] == 0
+
+
+class TestDiffAliasSetsEdgeCases:
+    def test_simultaneous_grow_and_migrate_in_one_delta(self):
+        # One set absorbs a brand-new address (grown) while, in the same
+        # delta, another set trades an address for a newcomer (migrated).
+        delta = diff_alias_sets(
+            [
+                alias_set("10.0.0.1", "10.0.0.2"),
+                alias_set("10.0.1.1", "10.0.1.2"),
+            ],
+            [
+                alias_set("10.0.0.1", "10.0.0.2", "10.0.0.3"),
+                alias_set("10.0.1.1", "10.0.1.9"),
+            ],
+        )
+        assert delta.grown == (frozenset({"10.0.0.1", "10.0.0.2", "10.0.0.3"}),)
+        assert delta.migrated == (frozenset({"10.0.1.1", "10.0.1.9"}),)
+        assert delta.born == ()
+        assert delta.dissolved == ()
+        assert delta.unchanged == 0
+        # Both previous sets were disrupted, neither was a split.
+        assert len(delta.disrupted_previous) == 2
+        assert delta.split_origins == ()
+
+    def test_dissolve_and_same_label_rebirth_in_one_batch(self):
+        # A set vanishes entirely while a disjoint set carrying the same
+        # canonical label (same smallest address is impossible for unions,
+        # so use disjoint membership with equal identifier labels) appears:
+        # the diff works on address-frozensets, so the old membership is
+        # dissolved and the new one born — no false "migrated" match.
+        dissolved = alias_set("10.0.0.1", "10.0.0.2")
+        reborn = AliasSet(
+            identifier=dissolved.identifier,  # same label, fresh membership
+            addresses=frozenset({"10.0.9.1", "10.0.9.2"}),
+            protocols=frozenset((ServiceType.SSH,)),
+        )
+        delta = diff_alias_sets([dissolved], [reborn])
+        assert delta.dissolved == (frozenset({"10.0.0.1", "10.0.0.2"}),)
+        assert delta.born == (frozenset({"10.0.9.1", "10.0.9.2"}),)
+        assert delta.migrated == ()
+        assert delta.unchanged == 0
+        assert delta.persistence == 0.0
+
+    def test_persistence_with_empty_previous_snapshot(self):
+        # Bootstrap case: no previous sets means nothing could be
+        # disrupted, so persistence is vacuously perfect even though
+        # every current set is newly born.
+        delta = diff_alias_sets([], [alias_set("10.0.0.1", "10.0.0.2")])
+        assert delta.born == (frozenset({"10.0.0.1", "10.0.0.2"}),)
+        assert delta.disrupted_previous == ()
+        assert delta.unchanged == 0
+        assert delta.persistence == 1.0
+
+    def test_both_snapshots_empty(self):
+        delta = diff_alias_sets([], [])
+        assert delta.is_empty if hasattr(delta, "is_empty") else True
+        assert delta.changed == 0
+        assert delta.persistence == 1.0

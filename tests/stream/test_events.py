@@ -1,0 +1,179 @@
+"""Tests for the typed stream event surface and its publisher."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.longitudinal.delta import AliasDelta
+from repro.stream.events import (
+    AliasSetBorn,
+    AliasSetDissolved,
+    AliasSetGrown,
+    AliasSetMigrated,
+    AliasSetShrunk,
+    CoverageChanged,
+    ReportEmitted,
+    StreamPublisher,
+    events_from_delta,
+)
+
+
+def make_delta(**overrides):
+    base = dict(
+        name="t",
+        born=(),
+        dissolved=(),
+        grown=(),
+        shrunk=(),
+        migrated=(),
+        unchanged=0,
+        split_origins=(),
+        disrupted_previous=(),
+    )
+    base.update(overrides)
+    return AliasDelta(**base)
+
+
+class TestEventShape:
+    def test_kinds_are_stable_tags(self):
+        assert AliasSetBorn.kind == "alias_set.born"
+        assert AliasSetDissolved.kind == "alias_set.dissolved"
+        assert AliasSetGrown.kind == "alias_set.grown"
+        assert AliasSetShrunk.kind == "alias_set.shrunk"
+        assert AliasSetMigrated.kind == "alias_set.migrated"
+        assert CoverageChanged.kind == "coverage.changed"
+        assert ReportEmitted.kind == "report.emitted"
+
+    def test_to_fields_sorts_addresses(self):
+        event = AliasSetBorn(
+            emit=3,
+            name="snapshot-3",
+            family="ipv4",
+            addresses=frozenset({"10.0.0.9", "10.0.0.1"}),
+        )
+        fields = event.to_fields()
+        assert fields["kind"] == "alias_set.born"
+        assert fields["addresses"] == ["10.0.0.1", "10.0.0.9"]
+        assert fields["emit"] == 3
+        json.dumps(fields)  # must be JSON-serialisable as-is
+
+    def test_report_emitted_fields(self):
+        event = ReportEmitted(
+            emit=0,
+            name="snapshot-0",
+            time=10.0,
+            observations=5,
+            added=5,
+            removed=0,
+            ipv4_sets=2,
+            ipv6_sets=1,
+            churn_rate=None,
+        )
+        fields = event.to_fields()
+        assert fields["churn_rate"] is None
+        assert fields["ipv4_sets"] == 2
+
+
+class TestEventsFromDelta:
+    def test_every_category_mapped(self):
+        delta = make_delta(
+            born=(frozenset({"a"}),),
+            dissolved=(frozenset({"b"}),),
+            grown=(frozenset({"c"}),),
+            shrunk=(frozenset({"d"}),),
+            migrated=(frozenset({"e"}),),
+        )
+        events = events_from_delta(delta, emit=1, name="snapshot-1", family="ipv4")
+        assert [type(e) for e in events] == [
+            AliasSetBorn,
+            AliasSetDissolved,
+            AliasSetGrown,
+            AliasSetShrunk,
+            AliasSetMigrated,
+        ]
+        assert all(e.family == "ipv4" and e.emit == 1 for e in events)
+
+    def test_deterministic_order_within_category(self):
+        delta = make_delta(
+            born=(frozenset({"10.0.0.9"}), frozenset({"10.0.0.1", "10.0.0.2"}))
+        )
+        events = events_from_delta(delta, emit=0, name="s", family="ipv4")
+        assert [sorted(e.addresses) for e in events] == [
+            ["10.0.0.1", "10.0.0.2"],
+            ["10.0.0.9"],
+        ]
+
+    def test_empty_delta_no_events(self):
+        assert events_from_delta(make_delta(), 0, "s", "ipv6") == []
+
+
+class TestStreamPublisher:
+    def event(self, kind_class=AliasSetBorn, emit=0):
+        return kind_class(
+            emit=emit, name=f"snapshot-{emit}", family="ipv4", addresses=frozenset({"a"})
+        )
+
+    def test_watchers_receive_published_events(self):
+        publisher = StreamPublisher()
+        seen = []
+        publisher.subscribe(seen.append)
+        event = self.event()
+        publisher.publish(event)
+        assert seen == [event]
+
+    def test_kind_filter(self):
+        publisher = StreamPublisher()
+        seen = []
+        publisher.subscribe(seen.append, kinds={"alias_set.dissolved"})
+        publisher.publish(self.event(AliasSetBorn))
+        publisher.publish(self.event(AliasSetDissolved))
+        assert [e.kind for e in seen] == ["alias_set.dissolved"]
+
+    def test_unsubscribe_stops_delivery(self):
+        publisher = StreamPublisher()
+        seen = []
+        unsubscribe = publisher.subscribe(seen.append)
+        publisher.publish(self.event())
+        unsubscribe()
+        unsubscribe()  # idempotent
+        publisher.publish(self.event())
+        assert len(seen) == 1
+        assert len(publisher) == 0
+
+    def test_counts_accumulate_without_watchers(self):
+        publisher = StreamPublisher()
+        publisher.publish_all([self.event(), self.event(AliasSetDissolved)])
+        assert publisher.counts == {
+            "alias_set.born": 1,
+            "alias_set.dissolved": 1,
+        }
+
+    def test_watcher_exceptions_propagate(self):
+        publisher = StreamPublisher()
+
+        def broken(_event):
+            raise RuntimeError("watcher broke")
+
+        publisher.subscribe(broken)
+        with pytest.raises(RuntimeError):
+            publisher.publish(self.event())
+
+    def test_obs_mirroring_when_enabled(self):
+        publisher = StreamPublisher()
+        buffer = io.StringIO()
+        with obs.observed() as registry:
+            obs.set_sink(obs.EventSink(buffer))
+            publisher.publish(self.event())
+        assert registry.counter_value("stream.events", kind="alias_set.born") == 1
+        rows = registry.series("stream.events")
+        assert rows and rows[0]["kind"] == "alias_set.born"
+        line = json.loads(buffer.getvalue().splitlines()[0])
+        assert line["event"] == "stream.alias_set.born"
+        assert line["addresses"] == ["a"]
+
+    def test_no_obs_traffic_when_disabled(self):
+        publisher = StreamPublisher()
+        publisher.publish(self.event())
+        assert obs.metrics().counter_value("stream.events", kind="alias_set.born") == 0

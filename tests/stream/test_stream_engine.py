@@ -1,0 +1,261 @@
+"""Tests for the StreamingEngine: ingest, triggers, and batch equivalence."""
+
+import pytest
+
+from repro.core.engine import report_signature
+from repro.errors import DatasetError, SimulationError
+from repro.longitudinal.campaign import LongitudinalCampaign, LongitudinalConfig
+from repro.longitudinal.engine import LongitudinalEngine
+from repro.simnet.device import ServiceType
+from repro.simnet.topology import generate_topology, small_topology_config
+from repro.sources.records import Observation
+from repro.stream.engine import StreamConfig, StreamingEngine
+from repro.stream.events import ReportEmitted
+
+
+def ssh(address, device="device-a", timestamp=0.0):
+    return Observation(
+        address=address,
+        protocol=ServiceType.SSH,
+        source="test",
+        port=22,
+        timestamp=timestamp,
+        fields=(
+            ("banner", "SSH-2.0-OpenSSH_9.4"),
+            ("capability_signature", f"caps-{device}"),
+            ("host_key_fingerprint", f"key-{device}"),
+        ),
+    )
+
+
+def quiet_network(seed=31):
+    config = small_topology_config(
+        seed=seed,
+        loss_rate=0.0,
+        cloud_rate_limited_fraction=0.0,
+        isp_rate_limited_fraction=0.0,
+        churn_fraction=0.0,
+    )
+    return generate_topology(config)
+
+
+class TestStreamConfigValidation:
+    def test_zero_change_trigger_rejected(self):
+        with pytest.raises(SimulationError):
+            StreamConfig(emit_every_changes=0)
+
+    def test_non_positive_time_trigger_rejected(self):
+        with pytest.raises(SimulationError):
+            StreamConfig(emit_every_seconds=0.0)
+
+    def test_name_format_needs_placeholder(self):
+        with pytest.raises(SimulationError):
+            StreamConfig(name_format="static-name")
+
+
+class TestIngest:
+    def test_observe_tracks_service(self):
+        stream = StreamingEngine()
+        assert stream.observe(ssh("10.0.0.1", "alpha")) == ()
+        assert stream.tracked_services == 1
+        assert stream.pending_changes == 1
+
+    def test_identical_reobservation_only_advances_clock(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1", "alpha", timestamp=0.0))
+        before = stream.pending_changes
+        stream.observe(ssh("10.0.0.1", "alpha", timestamp=100.0))
+        assert stream.pending_changes == before
+        assert stream.clock == 100.0
+
+    def test_identity_change_stages_remove_plus_add(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1", "alpha"))
+        stream.observe(ssh("10.0.0.1", "beta"))
+        assert stream.pending_changes == 3  # 1 add, then remove+add
+        assert stream.tracked_services == 1
+
+    def test_retire_unknown_service_is_noop(self):
+        stream = StreamingEngine()
+        assert stream.retire("10.0.0.1", ServiceType.SSH) == ()
+        assert stream.pending_changes == 0
+
+    def test_retire_stages_removal(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1", "alpha"))
+        stream.retire("10.0.0.1", ServiceType.SSH)
+        assert stream.tracked_services == 0
+        assert stream.pending_changes == 2
+
+    def test_sync_reconciles_full_scan(self):
+        stream = StreamingEngine()
+        stream.sync([ssh("10.0.0.1", "alpha"), ssh("10.0.0.2", "alpha")])
+        stream.flush()
+        # Second scan: .2 vanished, .3 appeared, .1 unchanged.
+        stream.sync([ssh("10.0.0.1", "alpha"), ssh("10.0.0.3", "beta")])
+        update = stream.flush()
+        report = update.events[-1]
+        assert isinstance(report, ReportEmitted)
+        assert report.added == 1
+        assert report.removed == 1
+        assert stream.tracked_services == 2
+
+    def test_live_observations_round_trip(self):
+        stream = StreamingEngine()
+        observations = [ssh("10.0.0.1", "alpha"), ssh("10.0.0.2", "beta")]
+        stream.sync(observations)
+        assert sorted(o.address for o in stream.live_observations()) == [
+            "10.0.0.1",
+            "10.0.0.2",
+        ]
+
+
+class TestFlush:
+    def test_flush_empty_stream_raises(self):
+        with pytest.raises(DatasetError):
+            StreamingEngine().flush()
+
+    def test_flush_names_follow_emit_sequence(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1"))
+        assert stream.flush().name == "snapshot-0"
+        stream.observe(ssh("10.0.0.2"))
+        assert stream.flush().name == "snapshot-1"
+        assert stream.emitted == 2
+
+    def test_flush_accepts_explicit_name(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1"))
+        assert stream.flush(name="custom").report.name == "custom"
+
+    def test_custom_name_format(self):
+        stream = StreamingEngine(StreamConfig(name_format="live-{}"))
+        stream.observe(ssh("10.0.0.1"))
+        assert stream.flush().name == "live-0"
+
+    def test_flush_without_new_changes_emits_empty_window(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1"))
+        stream.flush()
+        update = stream.flush()
+        report = update.events[-1]
+        assert report.added == 0 and report.removed == 0
+        assert update.emit == 1
+
+    def test_report_emitted_is_always_last_event(self):
+        stream = StreamingEngine()
+        stream.observe(ssh("10.0.0.1", "alpha"))
+        stream.observe(ssh("10.0.0.2", "alpha"))
+        update = stream.flush()
+        assert isinstance(update.events[-1], ReportEmitted)
+
+
+class TestChangeTrigger:
+    def test_emits_once_threshold_reached(self):
+        stream = StreamingEngine(StreamConfig(emit_every_changes=2))
+        assert stream.observe(ssh("10.0.0.1", "alpha")) == ()
+        updates = stream.observe(ssh("10.0.0.2", "alpha"))
+        assert len(updates) == 1
+        assert updates[0].name == "snapshot-0"
+        assert stream.pending_changes == 0
+
+    def test_batch_is_atomic(self):
+        stream = StreamingEngine(StreamConfig(emit_every_changes=2))
+        updates = stream.observe_batch(
+            [ssh("10.0.0.1"), ssh("10.0.0.2", "b"), ssh("10.0.0.3", "c")]
+        )
+        # One emit after the whole batch, not one per threshold crossing.
+        assert len(updates) == 1
+        assert updates[0].events[-1].added == 3
+
+
+class TestTimeTrigger:
+    def test_boundary_crossing_emits_pre_boundary_state(self):
+        stream = StreamingEngine(StreamConfig(emit_every_seconds=100.0))
+        stream.observe(ssh("10.0.0.1", "alpha", timestamp=0.0))
+        assert stream.observe(ssh("10.0.0.2", "beta", timestamp=50.0)) == ()
+        updates = stream.observe(ssh("10.0.0.3", "gamma", timestamp=120.0))
+        assert len(updates) == 1
+        # The emitted report holds only the pre-boundary observations.
+        assert updates[0].events[-1].observations == 2
+
+    def test_aligned_boundaries_skip_quiet_intervals(self):
+        stream = StreamingEngine(StreamConfig(emit_every_seconds=100.0))
+        stream.observe(ssh("10.0.0.1", "alpha", timestamp=0.0))
+        updates = stream.observe(ssh("10.0.0.2", "beta", timestamp=950.0))
+        assert len(updates) == 1  # one emit, not nine
+        # Next boundary is aligned past the incoming timestamp.
+        assert stream.observe(ssh("10.0.0.3", "gamma", timestamp=990.0)) == ()
+        assert len(stream.observe(ssh("10.0.0.4", "delta", timestamp=1000.0))) == 1
+
+
+class TestBatchEquivalence:
+    """The equivalence gate: stream == batch campaign, byte for byte."""
+
+    def campaign(self, seed=31, snapshots=4, churn=0.05):
+        return LongitudinalCampaign(
+            quiet_network(seed=seed),
+            config=LongitudinalConfig(
+                snapshots=snapshots, churn_fraction=churn, seed=seed
+            ),
+        )
+
+    def test_stream_matches_batch_signatures_and_event_counts(self):
+        snapshots = 4
+        batch = self.campaign()
+        result = batch.resolve(batch.collect())
+
+        streamed = self.campaign()  # same seed: identical capture sequence
+        stream = StreamingEngine()
+        updates = []
+        previous = None
+        for poll in range(snapshots):
+            capture = streamed.capture(poll, previous)
+            assert stream.sync(capture.observations) == ()
+            updates.append(stream.flush())
+            previous = capture.observations
+
+        assert len(updates) == len(result.snapshots)
+        for resolved, update in zip(result.snapshots, updates):
+            assert report_signature(update.report) == report_signature(
+                resolved.report
+            )
+            for family in ("ipv4", "ipv6"):
+                batch_delta = getattr(resolved.resolution, f"{family}_delta")
+                stream_delta = getattr(update.resolution, f"{family}_delta")
+                assert stream_delta.counts() == batch_delta.counts()
+
+    def test_event_counts_match_delta_totals(self):
+        snapshots = 3
+        campaign = self.campaign(snapshots=snapshots)
+        stream = StreamingEngine()
+        previous = None
+        expected = {kind: 0 for kind in ("born", "dissolved", "grown", "shrunk", "migrated")}
+        for poll in range(snapshots):
+            capture = campaign.capture(poll, previous)
+            stream.sync(capture.observations)
+            update = stream.flush()
+            for delta in (update.resolution.ipv4_delta, update.resolution.ipv6_delta):
+                for kind in expected:
+                    expected[kind] += len(getattr(delta, kind))
+            previous = capture.observations
+        for kind, total in expected.items():
+            assert stream.publisher.counts.get(f"alias_set.{kind}", 0) == total
+        assert stream.publisher.counts["report.emitted"] == snapshots
+
+    def test_stage_derive_equals_apply(self):
+        """The engine seam the stream relies on: stage+derive == apply."""
+        campaign = self.campaign(snapshots=2)
+        captures = campaign.collect()
+        applied = LongitudinalEngine()
+        applied.bootstrap(captures[0].observations, name="snapshot-0")
+        reference = applied.apply(captures[1].delta, name="snapshot-1")
+
+        staged = LongitudinalEngine()
+        staged.stage((), captures[0].observations)
+        staged.derive("snapshot-0")
+        staged.stage(captures[1].delta.removed, captures[1].delta.added)
+        resolution = staged.derive("snapshot-1")
+        assert report_signature(resolution.report) == report_signature(
+            reference.report
+        )

@@ -421,3 +421,100 @@ class TestParser:
 
         args = build_parser().parse_args(["scan", "--output", "out"])
         assert args.scale == 1.0
+
+
+class TestCampaignFlagValidation:
+    """The shared --interval-days/--churn bounds reject as usage errors."""
+
+    @pytest.mark.parametrize("command", ["longitudinal", "validate", "serve"])
+    def test_non_positive_interval_days_rejected(self, capsys, command):
+        exit_code = main([command, "--scale", "0.05", "--interval-days", "0"])
+        assert exit_code == 2
+        assert "--interval-days must be positive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["longitudinal", "validate", "serve"])
+    def test_negative_interval_days_rejected(self, capsys, command):
+        exit_code = main([command, "--scale", "0.05", "--interval-days", "-3"])
+        assert exit_code == 2
+        assert "--interval-days must be positive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["longitudinal", "validate", "serve"])
+    def test_out_of_range_churn_rejected(self, capsys, command):
+        exit_code = main([command, "--scale", "0.05", "--churn", "1.5"])
+        assert exit_code == 2
+        assert "--churn must be in [0, 1)" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["longitudinal", "validate", "serve"])
+    def test_negative_churn_rejected(self, capsys, command):
+        exit_code = main([command, "--scale", "0.05", "--churn", "-0.1"])
+        assert exit_code == 2
+        assert "--churn must be in [0, 1)" in capsys.readouterr().err
+
+    def test_shared_flag_defined_once(self):
+        # The duplicated definitions collapsed into one helper: every
+        # campaign-shaped parser carries the same default.
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("longitudinal", "validate", "serve"):
+            args = parser.parse_args([command])
+            assert args.interval_days == 7.0
+
+
+class TestServe:
+    def test_serve_smoke(self, capsys):
+        exit_code = main(
+            ["serve", "--scale", "0.05", "--seed", "3", "--max-batches", "2",
+             "--ipv4-only"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "emit 0 (snapshot-0):" in captured
+        assert "emit 1 (snapshot-1):" in captured
+        assert "served 2 polls, 2 reports" in captured
+        assert "estimated churn rate:" in captured
+
+    def test_serve_rejects_zero_max_batches(self, capsys):
+        exit_code = main(["serve", "--scale", "0.05", "--max-batches", "0"])
+        assert exit_code == 2
+        assert "--max-batches" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_poll_interval(self, capsys):
+        exit_code = main(["serve", "--scale", "0.05", "--poll-interval", "-1"])
+        assert exit_code == 2
+        assert "--poll-interval" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_emit_every_changes(self, capsys):
+        exit_code = main(["serve", "--scale", "0.05", "--emit-every-changes", "0"])
+        assert exit_code == 2
+        assert "--emit-every-changes" in capsys.readouterr().err
+
+    def test_serve_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "stream"
+        base = ["serve", "--scale", "0.05", "--seed", "3", "--churn", "0.05",
+                "--ipv4-only"]
+        assert main(base + ["--max-batches", "2", "--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", "--resume", str(checkpoint), "--max-batches", "2"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "resuming after poll 1" in captured
+        assert "emit 2 (snapshot-2):" in captured
+        assert "checkpointed 4 polls" in captured
+
+    def test_serve_resume_missing_checkpoint(self, capsys, tmp_path):
+        exit_code = main(["serve", "--resume", str(tmp_path / "absent")])
+        assert exit_code == 2
+        assert "not a stream checkpoint" in capsys.readouterr().err
+
+    def test_serve_metrics_capture_stream_series(self, capsys, tmp_path):
+        metrics = tmp_path / "serve.json"
+        assert main(
+            ["serve", "--scale", "0.05", "--max-batches", "2", "--ipv4-only",
+             "--metrics", str(metrics)]
+        ) == 0
+        payload = json.loads(metrics.read_text())
+        assert "stream.events" in payload.get("series", {})
+        counters = payload.get("counters", {})
+        assert any(name.startswith("stream.events") for name in counters)
