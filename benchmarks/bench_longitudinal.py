@@ -117,7 +117,7 @@ def bench_incremental_vs_full_rebuild(benchmark, captures, bench_json):
     for _ in range(rounds):
         incremental_time, incremental_reports = _incremental_replay(captures)
         full_time, full_reports = _full_replay(captures)
-        for incremental_report, full_report in zip(incremental_reports, full_reports):
+        for incremental_report, full_report in zip(incremental_reports, full_reports, strict=True):
             assert report_signature(incremental_report) == report_signature(full_report)
         incremental_times.append(incremental_time)
         full_times.append(full_time)

@@ -165,7 +165,9 @@ def bench_checkpoint_resume(benchmark, tmp_path_factory, bench_json):
     assert checkpoint.completed == stop_after
     assert len(resumed.snapshots) == snapshots - stop_after
     for resolved, reference in zip(
-        resumed.snapshots, uninterrupted.snapshots[stop_after:]
+        resumed.snapshots,
+        uninterrupted.snapshots[stop_after:],
+        strict=True,
     ):
         assert report_signature(resolved.report) == report_signature(reference.report)
         assert resolved.stability() == reference.stability()

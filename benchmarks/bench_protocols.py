@@ -5,14 +5,14 @@ record passes through (SSH KEXINIT, BGP OPEN, SNMPv3 discovery), which is
 what bounds the throughput of the application-layer grabber.
 """
 
+from repro.net.endpoint import LoopbackConnection
 from repro.protocols.bgp.capabilities import Capability
 from repro.protocols.bgp.messages import BgpOpen, parse_messages
-from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_report
 from repro.protocols.snmp.engine_id import EngineId
+from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_report
+from repro.protocols.ssh.client import SshScanClient
 from repro.protocols.ssh.kex import KexInit
 from repro.protocols.ssh.server import SshServerBehavior, SshServerConfig
-from repro.protocols.ssh.client import SshScanClient
-from repro.net.endpoint import LoopbackConnection
 
 
 def bench_ssh_kexinit_roundtrip(benchmark):

@@ -91,7 +91,7 @@ def bench_stream_vs_batch(benchmark, campaign, captures, bench_json):
 
     # The gate: every snapshot — including the final one — byte-identical.
     assert len(updates) == len(result.snapshots)
-    for resolved, update in zip(result.snapshots, updates):
+    for resolved, update in zip(result.snapshots, updates, strict=True):
         assert report_signature(update.report) == report_signature(resolved.report)
 
     observations_per_snapshot = len(captures[0].observations)

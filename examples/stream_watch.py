@@ -90,7 +90,7 @@ def main() -> None:
     # The streamed reports equal the batch campaign's, byte for byte.
     batch = make_campaign()
     result = batch.resolve(batch.collect())
-    for resolved, update in zip(result.snapshots, updates):
+    for resolved, update in zip(result.snapshots, updates, strict=True):
         assert report_signature(update.report) == report_signature(resolved.report)
     print("\nstreamed reports match the batch campaign signature for signature")
 

@@ -43,7 +43,7 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     if title:
         lines.append(title)
     separator = "-+-".join("-" * width for width in widths)
-    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths, strict=True)))
     lines.append(separator)
     for row in text_rows:
         padded = [cell.ljust(widths[index]) for index, cell in enumerate(row)]

@@ -26,6 +26,7 @@ import functools
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro import obs
+from repro.api.config import ScenarioConfig
 from repro.api.parallel import resolve_parallel
 from repro.api.plan import PlanResult, ScanPlan, run_scan_plan
 from repro.api.sources import (
@@ -44,8 +45,6 @@ from repro.simnet.network import SimulatedInternet, VantagePoint
 from repro.simnet.topology import TopologyConfig, generate_topology
 from repro.sources.hitlist import HitlistConfig, build_ipv6_hitlist
 from repro.sources.records import Observation, ObservationDataset, iter_observations
-
-from repro.api.config import ScenarioConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.validation.report import ValidationReport
@@ -118,11 +117,13 @@ class ReproSession:
         spec = self.spec(source)
         dataset = self._datasets.get(spec)
         if dataset is None:
-            obs.add("session.cache", 1, kind="dataset", outcome="miss")
+            if obs.is_enabled():
+                obs.add("session.cache", 1, kind="dataset", outcome="miss")
             with obs.span("session.dataset", kind=spec.kind):
                 dataset = self._datasets[spec] = build_source(self, spec)
         else:
-            obs.add("session.cache", 1, kind="dataset", outcome="hit")
+            if obs.is_enabled():
+                obs.add("session.cache", 1, kind="dataset", outcome="hit")
         return dataset
 
     def observations(self, source: str | SourceSpec) -> Iterator[Observation]:
@@ -191,7 +192,8 @@ class ReproSession:
             name = source if isinstance(source, str) else self._default_name(spec)
         key = (spec, name)
         if key not in self._reports:
-            obs.add("session.cache", 1, kind="report", outcome="miss")
+            if obs.is_enabled():
+                obs.add("session.cache", 1, kind="report", outcome="miss")
             with obs.span("session.report", name=name, workers=workers):
                 observations = self._stream(spec)
                 if workers > 1:
@@ -203,7 +205,8 @@ class ReproSession:
                         observations, name=name, options=self.options
                     )
         else:
-            obs.add("session.cache", 1, kind="report", outcome="hit")
+            if obs.is_enabled():
+                obs.add("session.cache", 1, kind="report", outcome="hit")
         return self._reports[key]
 
     def run_plan(self, plan: ScanPlan | None = None) -> PlanResult:
@@ -249,11 +252,13 @@ class ReproSession:
             name = validator if isinstance(validator, str) else display_name(spec)
         key = (spec, name)
         if key not in self._validations:
-            obs.add("session.cache", 1, kind="validation", outcome="miss")
+            if obs.is_enabled():
+                obs.add("session.cache", 1, kind="validation", outcome="miss")
             with obs.span("session.validate", name=name):
                 self._validations[key] = run_validator(self.validation_run, spec)
         else:
-            obs.add("session.cache", 1, kind="validation", outcome="hit")
+            if obs.is_enabled():
+                obs.add("session.cache", 1, kind="validation", outcome="hit")
         return self._validations[key]
 
     # ------------------------------------------------------------------ #

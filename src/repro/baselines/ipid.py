@@ -60,7 +60,7 @@ class IpidTimeSeries:
         if len(self.samples) < 2:
             return None
         total = 0
-        for (_, previous), (__, current) in zip(self.samples, self.samples[1:]):
+        for (_, previous), (__, current) in zip(self.samples, self.samples[1:], strict=False):
             total += (current - previous) % IPID_MODULUS
         elapsed = self.samples[-1][0] - self.samples[0][0]
         if elapsed <= 0:
@@ -82,7 +82,7 @@ def shared_counter_test(
     violates the bound at one of the interleaving boundaries.
     """
     ordered = sorted(merged, key=lambda sample: sample[0])
-    for (previous_time, previous_value), (current_time, current_value) in zip(ordered, ordered[1:]):
+    for (previous_time, previous_value), (current_time, current_value) in zip(ordered, ordered[1:], strict=False):
         delta = (current_value - previous_value) % IPID_MODULUS
         allowed = max_velocity * max(current_time - previous_time, 0.0) + slack
         if delta > allowed:

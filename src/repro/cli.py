@@ -64,19 +64,21 @@ from repro.analysis.validation import (
     validation_markdown,
     validation_table,
 )
+from repro.api.config import ScenarioConfig
 from repro.api.experiments import all_experiments, get_experiment
 from repro.api.parallel import build_index_parallel
-from repro.core.engine import ResolutionEngine
 from repro.api.plan import ScanPlan
 from repro.api.session import ReproSession
 from repro.api.sources import SOURCES
-from repro.api.config import ScenarioConfig
+from repro.core.engine import ResolutionEngine
 from repro.core.pipeline import run_alias_resolution
+from repro.devtools.cli import add_lint_parser, run_lint
 from repro.errors import DatasetError, RegistryError
 from repro.experiments import runner
 from repro.io.datasets import load_observations, save_alias_sets, save_observations
 from repro.net.addresses import AddressFamily
 from repro.persist.campaign import CampaignCheckpointer, load_checkpoint, resume_campaign
+from repro.persist.files import write_atomic
 from repro.persist.stream import (
     StreamCheckpointer,
     load_stream_checkpoint,
@@ -320,6 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_flag(serve)
 
+    add_lint_parser(subparsers)
+
     session = subparsers.add_parser(
         "session", help="persist and restore measurement sessions"
     )
@@ -409,11 +413,10 @@ def _add_metrics_flag(subparser: argparse.ArgumentParser) -> None:
 
 def _write_metrics(path: Path, registry: obs.MetricsRegistry) -> None:
     """Render the registry to ``path`` (format chosen by suffix)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
     if path.suffix in (".prom", ".txt"):
-        path.write_text(registry.prometheus_text())
+        write_atomic(path, registry.prometheus_text())
     else:
-        path.write_text(json.dumps(registry.to_json(), indent=2) + "\n")
+        write_atomic(path, json.dumps(registry.to_json(), indent=2) + "\n")
     print(f"wrote {path}")
 
 
@@ -500,7 +503,7 @@ def _command_resolve(args: argparse.Namespace) -> int:
     args.output.mkdir(parents=True, exist_ok=True)
     save_alias_sets(report.ipv4_union, args.output / "ipv4_alias_sets.json")
     save_alias_sets(report.ipv6_union, args.output / "ipv6_alias_sets.json")
-    (args.output / "report.md").write_text(alias_report_markdown(report))
+    write_atomic(args.output / "report.md", alias_report_markdown(report))
     print(f"IPv4 non-singleton alias sets: {len(report.ipv4_union.non_singleton())}")
     print(f"IPv6 non-singleton alias sets: {len(report.ipv6_union.non_singleton())}")
     print(f"dual-stack sets: {len(report.dual_stack_union)}")
@@ -556,7 +559,7 @@ def _command_plan(args: argparse.Namespace) -> int:
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
         path = args.output / "coverage.md"
-        path.write_text(result.coverage_markdown())
+        write_atomic(path, result.coverage_markdown())
         print(f"wrote {path}")
     return 0
 
@@ -576,7 +579,7 @@ def _write_stability_markdown(output: Path | None, markdown: str) -> None:
         return
     output.mkdir(parents=True, exist_ok=True)
     path = output / "stability.md"
-    path.write_text(markdown)
+    write_atomic(path, markdown)
     print(f"wrote {path}")
 
 
@@ -699,7 +702,7 @@ def _command_validate(args: argparse.Namespace) -> int:
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
         path = args.output / "validation.md"
-        path.write_text(validation_markdown(reports))
+        write_atomic(path, validation_markdown(reports))
         print(f"wrote {path}")
     return 0
 
@@ -729,7 +732,7 @@ def _validate_snapshots(args: argparse.Namespace, session, names) -> int:
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
         path = args.output / "validation.md"
-        path.write_text(validation_markdown([], snapshot_series=series))
+        write_atomic(path, validation_markdown([], snapshot_series=series))
         print()
         print(f"wrote {path}")
     return 0
@@ -922,6 +925,7 @@ _COMMANDS = {
     "validate": _command_validate,
     "serve": _command_serve,
     "session": _command_session,
+    "lint": run_lint,
 }
 
 

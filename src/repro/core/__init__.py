@@ -23,6 +23,7 @@ This package implements the paper's technique proper:
 from repro.core.alias_resolution import AliasResolver, IntUnionFind, UnionFind
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.core.dual_stack import DualStackCollection, DualStackSet, infer_dual_stack, union_dual_stack
+from repro.core.engine import ObservationIndex, ResolutionEngine
 from repro.core.identifiers import (
     DeviceIdentifier,
     IdentifierOptions,
@@ -32,7 +33,6 @@ from repro.core.identifiers import (
     snmp_identifier,
     ssh_identifier,
 )
-from repro.core.engine import ObservationIndex, ResolutionEngine
 from repro.core.pipeline import AliasReport, run_alias_resolution
 from repro.core.validation import ValidationResult, cross_validate
 

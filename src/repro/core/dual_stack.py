@@ -15,8 +15,8 @@ from typing import Iterable, Iterator
 
 from repro.core.alias_resolution import merge_overlapping
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions, extract_identifier
-from repro.simnet.device import ServiceType
 from repro.net.addresses import AddressFamily
+from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
 
 

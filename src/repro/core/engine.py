@@ -45,6 +45,7 @@ from array import array
 from collections.abc import Mapping
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.core.alias_resolution import AliasResolver
 from repro.core.aliasset import AliasSet, AliasSetCollection
 from repro.core.dual_stack import DualStackCollection, DualStackSet, union_dual_stack
@@ -56,7 +57,6 @@ from repro.core.identifiers import (
 )
 from repro.core.symbols import SymbolTable
 from repro.errors import DatasetError
-from repro import obs
 from repro.net.addresses import AddressFamily, family_of
 from repro.simnet.device import ServiceType
 from repro.sources.records import Observation
@@ -396,6 +396,8 @@ class ObservationIndex:
         cost stays a handful of dict operations per ``extend``/``merge``/
         ``apply_delta``, and the disabled cost is one boolean check.
         """
+        if not obs.is_enabled():
+            return
         obs.set_gauge("index.symbols.interned", len(self._addresses), kind="address")
         obs.set_gauge(
             "index.symbols.interned", len(self._identifiers), kind="identifier"

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.errors import DatasetError
+
 
 class SymbolTable:
     """Bidirectional string ↔ dense-int mapping with insertion-order symbols.
@@ -38,7 +40,7 @@ class SymbolTable:
             value: sym for sym, value in enumerate(self.values)
         }
         if len(self.ids) != len(self.values):
-            raise ValueError("symbol table initialised with duplicate values")
+            raise DatasetError("symbol table initialised with duplicate values")
 
     def __len__(self) -> int:
         return len(self.values)

@@ -1,0 +1,171 @@
+"""The committed findings baseline.
+
+The baseline grandfathers known findings so the checker can land strict
+and the tree can be paid down incrementally.  Entries match findings by
+``(rule, path, content)`` — the stripped source line — rather than line
+number, so unrelated edits above a finding do not invalidate the baseline.
+Two staleness guarantees keep it honest:
+
+* an entry whose finding no longer exists is **stale** and fails the run
+  (rule ``stale-baseline``) — fixed code must shed its baseline entry;
+* an entry without a ``reason`` fails the run too — every grandfathered
+  finding carries a one-line justification, same as inline suppressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.findings import Finding
+from repro.errors import DatasetError
+
+#: The rule ids under which baseline problems are reported.
+STALE_BASELINE_RULE = "stale-baseline"
+
+#: Default baseline location, relative to the lint root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+BASELINE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    content: str
+    reason: str
+    line: int = 0
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.content)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "content": self.content,
+            "reason": self.reason,
+            "line": self.line,
+        }
+
+
+class Baseline:
+    """A loaded baseline document, applied as a multiset of entries."""
+
+    def __init__(self, entries: Iterable[BaselineEntry], path: str = "") -> None:
+        self.entries = list(entries)
+        self.path = path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file (malformed documents are DatasetError)."""
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"baseline file {path} does not exist")
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise DatasetError(f"cannot read baseline file {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"baseline file {path} is not valid JSON") from exc
+        if not isinstance(document, dict) or not isinstance(
+            document.get("entries"), list
+        ):
+            raise DatasetError(
+                f"baseline file {path} must be an object with an 'entries' list"
+            )
+        entries = []
+        for position, raw in enumerate(document["entries"]):
+            if not isinstance(raw, dict):
+                raise DatasetError(
+                    f"baseline file {path} entry {position} is not an object"
+                )
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        content=str(raw["content"]),
+                        reason=str(raw.get("reason", "")),
+                        line=int(raw.get("line", 0)),
+                    )
+                )
+            except KeyError as exc:
+                raise DatasetError(
+                    f"baseline file {path} entry {position} is missing {exc}"
+                ) from exc
+        return cls(entries, path=str(path))
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], int, list[Finding]]:
+        """Split findings into (kept, baselined_count, baseline_problems).
+
+        ``baseline_problems`` holds one ``stale-baseline`` finding per
+        entry that matched nothing and one per entry missing its reason —
+        both anchored at the baseline file so the report points at the
+        line to delete or justify.
+        """
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + 1
+        kept: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.snippet)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        problems: list[Finding] = []
+        for entry in self.entries:
+            if not entry.reason.strip():
+                problems.append(self._problem(
+                    entry,
+                    "baseline entry is missing its reason — every "
+                    "grandfathered finding carries a one-line justification",
+                    "add a non-empty \"reason\" to the entry",
+                ))
+            if budget.get(entry.key(), 0) > 0:
+                budget[entry.key()] -= 1
+                problems.append(self._problem(
+                    entry,
+                    f"stale baseline entry: no current {entry.rule} finding "
+                    f"matches {entry.path!r} / {entry.content!r}",
+                    "delete the entry — the finding it grandfathered is gone",
+                ))
+        return kept, baselined, problems
+
+    def _problem(self, entry: BaselineEntry, message: str, fixit: str) -> Finding:
+        return Finding(
+            path=self.path or DEFAULT_BASELINE_NAME,
+            line=max(entry.line, 1),
+            column=1,
+            rule=STALE_BASELINE_RULE,
+            message=message,
+            fixit=fixit,
+            snippet=entry.content,
+        )
+
+
+def render_baseline(findings: Iterable[Finding], reason: str) -> str:
+    """Serialise findings as a fresh baseline document (for bootstrapping)."""
+    entries = [
+        BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            content=finding.snippet,
+            reason=reason,
+            line=finding.line,
+        ).to_json()
+        for finding in sorted(findings)
+    ]
+    return json.dumps(
+        {"version": BASELINE_VERSION, "entries": entries}, indent=2
+    ) + "\n"

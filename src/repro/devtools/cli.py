@@ -1,0 +1,96 @@
+"""The ``repro lint`` subcommand implementation.
+
+Kept in :mod:`repro.devtools` so the main CLI module stays a thin
+dispatcher; :func:`add_lint_parser` declares the flags and
+:func:`run_lint` is the handler (exit 0 clean, 2 findings — the same
+usage-error code the other subcommands use for actionable failures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.devtools.baseline import DEFAULT_BASELINE_NAME
+from repro.devtools.rules import ALL_RULES
+from repro.devtools.runner import lint_paths, load_baseline
+from repro.errors import DatasetError
+
+
+def add_lint_parser(subparsers: "argparse._SubParsersAction") -> None:
+    """Attach the ``lint`` subcommand to the top-level parser."""
+    lint = subparsers.add_parser(
+        "lint",
+        help="run repro-lint, the repo's invariant-enforcing static checker",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src under --root)",
+    )
+    lint.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root anchoring module names and relative paths "
+        "(default: current directory)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline file for grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME} under --root, when present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Handle ``repro lint``; returns the process exit code."""
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id:22} {rule.description}")
+        return 0
+    root = args.root if args.root is not None else Path.cwd()
+    paths = list(args.paths) if args.paths else [root / "src"]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"lint path(s) do not exist: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = root / DEFAULT_BASELINE_NAME
+        if candidate.exists():
+            baseline_path = candidate
+    if args.no_baseline:
+        baseline_path = None
+    try:
+        baseline = load_baseline(baseline_path)
+        result = lint_paths(paths, root=root, baseline=baseline)
+    except DatasetError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render_text())
+    return 0 if result.clean else 2

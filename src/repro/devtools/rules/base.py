@@ -1,0 +1,102 @@
+"""Rule base class and the name-resolution helpers rules share.
+
+Every rule works on resolved *qualified names*: an :class:`ImportMap`
+records what each module-level import binds (``from repro import obs``
+binds ``obs`` → ``repro.obs``), and :func:`qualified_name` folds a
+``Name``/``Attribute`` chain through those bindings, so ``obs.add`` at a
+call site resolves to ``repro.obs.add`` no matter how the module spelled
+its imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.findings import Finding, ModuleUnderLint
+
+
+class Rule:
+    """One invariant, checked against one parsed module at a time."""
+
+    #: Stable identifier used in reports, suppressions, and the baseline.
+    rule_id: str = ""
+    #: One-line description for ``repro lint`` documentation output.
+    description: str = ""
+    #: The fix-it message appended to every finding of this rule.
+    fixit: str = ""
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        """Yield findings for ``module`` (empty when the module is clean)."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleUnderLint, node: ast.AST, message: str
+    ) -> Finding:
+        """Build one finding of this rule anchored at ``node``."""
+        return module.finding(node, self.rule_id, message, self.fixit)
+
+
+class ImportMap:
+    """What each top-level name in a module resolves to.
+
+    Only import bindings are tracked — a local variable shadowing an
+    imported module defeats resolution, which is the right failure mode
+    for a linter: it under-reports rather than mis-reports.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.bindings[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.bindings[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> str:
+        """The qualified form of a bare name (itself when not imported)."""
+        return self.bindings.get(name, name)
+
+
+def qualified_name(node: ast.expr, imports: ImportMap) -> str | None:
+    """Resolve a ``Name``/``Attribute`` chain to a dotted qualified name.
+
+    Returns ``None`` for anything dynamic (subscripts, call results), which
+    rules treat as "unknown — do not flag".
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.resolve(node.id))
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call, imports: ImportMap) -> str | None:
+    """Qualified name of a call's target, or ``None`` when dynamic."""
+    return qualified_name(node.func, imports)
+
+
+def module_in(module: str, packages: Iterable[str]) -> bool:
+    """Whether dotted ``module`` is any of ``packages`` or inside one."""
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )
+
+
+def walk_with_imports(
+    module: ModuleUnderLint,
+) -> tuple[ImportMap, Sequence[ast.AST]]:
+    """The module's import map plus a flat walk of its tree."""
+    imports = ImportMap(module.tree)
+    return imports, list(ast.walk(module.tree))

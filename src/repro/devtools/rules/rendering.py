@@ -1,0 +1,85 @@
+"""The sorted-before-render rule.
+
+Set iteration order depends on the per-process string-hash salt, so a set
+that reaches a rendering or hashing sink unsorted makes the output differ
+between runs — exactly the ``top_asns`` tie-break bug PR 3 fixed after the
+fact.  This rule catches the pattern at diff time: a set-shaped expression
+(set literal, set comprehension, ``set(...)``/``frozenset(...)`` call)
+feeding a ``str.join``, ``hash()``, or ``hashlib`` sink directly — or as
+the iterable of a comprehension argument — without ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding, ModuleUnderLint
+from repro.devtools.rules.base import ImportMap, Rule, call_name, walk_with_imports
+
+#: hashlib constructors whose input order lands in the digest.
+_HASHLIB_CALLS: frozenset[str] = frozenset(
+    f"hashlib.{name}"
+    for name in ("md5", "sha1", "sha224", "sha256", "sha384", "sha512", "new")
+)
+
+
+def _is_set_shaped(node: ast.expr, imports: ImportMap) -> bool:
+    """Whether ``node`` is syntactically a set (literal, comp, or call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node, imports)
+        return name in ("set", "frozenset")
+    return False
+
+
+class SortedBeforeRender(Rule):
+    """Sets must pass through sorted() before rendering or hashing sinks."""
+
+    rule_id = "sorted-before-render"
+    description = (
+        "set-shaped values must be sorted() before str.join/hash/hashlib sinks"
+    )
+    fixit = "wrap the set in sorted(...) so the rendering order is deterministic"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if not module.module.startswith("repro."):
+            return
+        imports, nodes = walk_with_imports(module)
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            sink = self._sink_kind(node, imports)
+            if sink is None or not node.args:
+                continue
+            argument = node.args[0]
+            offender = self._unsorted_set(argument, imports)
+            if offender is not None:
+                yield self.finding(
+                    module,
+                    offender,
+                    f"set iterated into {sink} without sorted(): the order "
+                    "depends on the per-process hash salt",
+                )
+
+    def _sink_kind(self, node: ast.Call, imports: ImportMap) -> str | None:
+        """Which deterministic-order sink this call is, if any."""
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            return "str.join"
+        name = call_name(node, imports)
+        if name == "hash":
+            return "hash()"
+        if name in _HASHLIB_CALLS:
+            return name
+        return None
+
+    def _unsorted_set(self, argument: ast.expr, imports: ImportMap) -> ast.expr | None:
+        """The set-shaped node feeding the sink unsorted, if present."""
+        if _is_set_shaped(argument, imports):
+            return argument
+        if isinstance(argument, (ast.GeneratorExp, ast.ListComp)):
+            source = argument.generators[0].iter
+            if _is_set_shaped(source, imports):
+                return source
+        return None

@@ -1,0 +1,81 @@
+"""The frozen-spec rule.
+
+Spec and config dataclasses are cache keys and registry values: sessions
+key dataset/report caches on ``SourceSpec`` trees, validators key on
+``ValidatorSpec``, the stream engine snapshots ``StreamConfig`` into
+checkpoints.  A mutable spec would let a cached entry drift from the key
+it was stored under, so every dataclass in a spec/config module must be
+``frozen=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding, ModuleUnderLint
+from repro.devtools.rules.base import (
+    ImportMap,
+    Rule,
+    qualified_name,
+    walk_with_imports,
+)
+
+#: Modules whose dataclasses are specs/configs and must be frozen.
+SPEC_MODULES: tuple[str, ...] = (
+    "repro.api.sources",
+    "repro.api.config",
+    "repro.validation.spec",
+    "repro.stream.engine",
+)
+
+_DATACLASS_NAMES = frozenset({"dataclass", "dataclasses.dataclass"})
+
+
+def _dataclass_decorator(
+    decorator: ast.expr, imports: ImportMap
+) -> tuple[ast.expr, bool] | None:
+    """``(node, frozen)`` when ``decorator`` is a dataclass decorator."""
+    if isinstance(decorator, ast.Call):
+        name = qualified_name(decorator.func, imports)
+        if name not in _DATACLASS_NAMES:
+            return None
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                value = keyword.value
+                frozen = isinstance(value, ast.Constant) and value.value is True
+                return decorator, frozen
+        return decorator, False
+    name = qualified_name(decorator, imports)
+    if name in _DATACLASS_NAMES:
+        return decorator, False
+    return None
+
+
+class FrozenSpec(Rule):
+    """Dataclasses in spec/config modules must be frozen=True."""
+
+    rule_id = "frozen-spec"
+    description = "spec/config module dataclasses must declare frozen=True"
+    fixit = "declare the dataclass with @dataclasses.dataclass(frozen=True)"
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if module.module not in SPEC_MODULES:
+            return
+        imports, nodes = walk_with_imports(module)
+        for node in nodes:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                described = _dataclass_decorator(decorator, imports)
+                if described is None:
+                    continue
+                anchor, frozen = described
+                if not frozen:
+                    yield self.finding(
+                        module,
+                        anchor,
+                        f"dataclass {node.name!r} in spec module "
+                        f"{module.module} is not frozen — specs are cache "
+                        "keys and must be immutable",
+                    )

@@ -1,0 +1,124 @@
+"""Inline suppression comments.
+
+A finding is suppressed by a trailing comment on its line::
+
+    catalogue = {"b", "a"}  # repro-lint: disable=sorted-before-render -- rendered sorted downstream
+
+Multiple rules separate with commas; the ``--`` reason is **mandatory** —
+a suppression that does not say why it is safe is itself a finding
+(rule ``suppression``), as is one naming an unknown rule.  Comments are
+located with :mod:`tokenize`, so a ``# repro-lint:`` inside a string
+literal never counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Iterator, Mapping
+
+from repro.devtools.findings import Finding, ModuleUnderLint
+
+#: The rule id under which malformed suppressions are reported.
+SUPPRESSION_RULE = "suppression"
+
+# ``rules`` is lazy: its character class admits spaces and dashes, so a
+# greedy match would swallow the ``-- reason`` separator and the reason.
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\- ]*?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+
+
+def parse_suppressions(module: ModuleUnderLint) -> dict[int, Suppression]:
+    """Suppressions by line number (tokenize-backed, string-literal safe)."""
+    suppressions: dict[int, Suppression] = {}
+    reader = io.StringIO(module.source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse
+        return suppressions  # unparseable files fail earlier, at ast.parse
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        suppressions[token.start[0]] = Suppression(
+            line=token.start[0], rules=rules, reason=reason
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    module: ModuleUnderLint,
+    findings: list[Finding],
+    known_rules: frozenset[str],
+) -> tuple[list[Finding], int]:
+    """Filter suppressed findings; malformed suppressions become findings.
+
+    Returns ``(kept_findings, suppressed_count)``.  ``kept_findings``
+    includes one ``suppression`` finding per comment that is missing its
+    reason or names an unknown rule.
+    """
+    suppressions = parse_suppressions(module)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if (
+            suppression is not None
+            and suppression.reason
+            and finding.rule in suppression.rules
+        ):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.extend(_malformed(module, suppressions, known_rules))
+    return kept, suppressed
+
+
+def _malformed(
+    module: ModuleUnderLint,
+    suppressions: Mapping[int, Suppression],
+    known_rules: frozenset[str],
+) -> Iterator[Finding]:
+    for suppression in suppressions.values():
+        problems = []
+        if not suppression.rules:
+            problems.append("names no rule")
+        if not suppression.reason:
+            problems.append("is missing its `-- reason`")
+        problems.extend(
+            f"names unknown rule {rule!r}"
+            for rule in suppression.rules
+            if rule not in known_rules
+        )
+        for problem in problems:
+            yield Finding(
+                path=module.path,
+                line=suppression.line,
+                column=1,
+                rule=SUPPRESSION_RULE,
+                message=f"suppression comment {problem}",
+                fixit=(
+                    "write `# repro-lint: disable=<rule>[,<rule>] -- reason` "
+                    "with a registered rule id and a one-line justification"
+                ),
+                snippet=module.snippet(suppression.line),
+            )

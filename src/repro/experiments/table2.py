@@ -17,9 +17,9 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import format_count, render_table
-from repro.core.validation import cross_validate
 from repro.api.experiments import experiment
 from repro.api.session import ReproSession
+from repro.core.validation import cross_validate
 from repro.simnet.device import ServiceType
 from repro.validation.runner import table2_midar_spec
 

@@ -5,7 +5,6 @@ equivalent serialisation for the reproduction: observations as JSON-lines
 files and alias/dual-stack sets as JSON documents.
 """
 
-from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.io.datasets import (
     DATASET_FORMAT_VERSION,
     DATASET_HEADER_KEY,
@@ -17,6 +16,7 @@ from repro.io.datasets import (
     save_alias_sets,
     save_observations,
 )
+from repro.io.jsonl import read_jsonl, write_jsonl
 
 __all__ = [
     "DATASET_FORMAT_VERSION",

@@ -26,14 +26,13 @@ from repro import obs
 from repro.core.engine import AliasReport
 from repro.core.identifiers import DEFAULT_OPTIONS, IdentifierOptions
 from repro.errors import SimulationError
+from repro.longitudinal.delta import AliasDelta, ObservationDelta, diff_observations
+from repro.longitudinal.engine import IncrementalResolution, LongitudinalEngine
 from repro.net.addresses import AddressFamily
 from repro.simnet.churn import ChurnModel
 from repro.simnet.network import SimulatedInternet, VantagePoint
 from repro.sources.active import ActiveMeasurement
 from repro.sources.records import Observation
-
-from repro.longitudinal.delta import AliasDelta, ObservationDelta, diff_observations
-from repro.longitudinal.engine import IncrementalResolution, LongitudinalEngine
 
 
 @dataclasses.dataclass(frozen=True)

@@ -62,16 +62,15 @@ from repro.core.identifiers import (
     extract_identifier,
 )
 from repro.errors import DatasetError
-from repro.net.addresses import AddressFamily
-from repro.simnet.device import ServiceType
-from repro.sources.records import Observation
-
 from repro.longitudinal.delta import (
     AliasDelta,
     ObservationDelta,
     diff_alias_sets,
     observation_key,
 )
+from repro.net.addresses import AddressFamily
+from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
 
 _FAMILIES = (AddressFamily.IPV4, AddressFamily.IPV6)
 _BucketKey = tuple[ServiceType, AddressFamily]

@@ -36,7 +36,7 @@ from __future__ import annotations
 import dataclasses
 import re
 import threading
-from typing import Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import DatasetError
 
@@ -90,14 +90,15 @@ class Histogram:
     """One histogram series: cumulative bucket counts plus summary stats."""
 
     bounds: tuple[float, ...] = DEFAULT_BUCKETS
-    counts: list[int] = None  # type: ignore[assignment]  # one per bound, +Inf last
+    #: One cell per bound, +Inf last; filled by ``__post_init__``.
+    counts: list[int] = dataclasses.field(default_factory=list)
     total: float = 0.0
     count: int = 0
     minimum: float | None = None
     maximum: float | None = None
 
     def __post_init__(self) -> None:
-        if self.counts is None:
+        if not self.counts:
             self.counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
@@ -129,7 +130,7 @@ class Histogram:
                 mine = getattr(self, extreme)
                 setattr(self, extreme, theirs if mine is None else pick(mine, theirs))
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
@@ -140,7 +141,7 @@ class Histogram:
         }
 
     @classmethod
-    def from_json(cls, payload: dict) -> "Histogram":
+    def from_json(cls, payload: dict[str, Any]) -> "Histogram":
         return cls(
             bounds=tuple(payload["bounds"]),
             counts=[int(cell) for cell in payload["counts"]],
@@ -167,8 +168,8 @@ class MetricsRegistry:
         self._counters: dict[str, dict[LabelKey, float]] = {}
         self._gauges: dict[str, dict[LabelKey, float]] = {}
         self._histograms: dict[str, dict[LabelKey, Histogram]] = {}
-        self._series: dict[str, list[dict]] = {}
-        self._spans: list[dict] = []
+        self._series: dict[str, list[dict[str, Any]]] = {}
+        self._spans: list[dict[str, Any]] = []
         self._build_stats = threading.local()
 
     # ------------------------------------------------------------------ #
@@ -203,7 +204,7 @@ class MetricsRegistry:
         """Append one record to the named series (rows are stored as dicts)."""
         self._series.setdefault(name, []).append(dict(row))
 
-    def record_span(self, span: dict) -> None:
+    def record_span(self, span: dict[str, Any]) -> None:
         """Record one completed root span (see :mod:`repro.obs.trace`)."""
         self._spans.append(span)
 
@@ -234,12 +235,12 @@ class MetricsRegistry:
         """One histogram series, or ``None`` when nothing was observed."""
         return self._histograms.get(name, {}).get(label_key(labels))
 
-    def series(self, name: str) -> list[dict]:
+    def series(self, name: str) -> list[dict[str, Any]]:
         """The rows of one named series (shared reference, treat read-only)."""
         return self._series.get(name, [])
 
     @property
-    def spans(self) -> list[dict]:
+    def spans(self) -> list[dict[str, Any]]:
         """Completed root spans, in completion order."""
         return self._spans
 
@@ -254,7 +255,7 @@ class MetricsRegistry:
         """Store the most recent parallel index build's stats for this thread."""
         self._build_stats.stats = stats
 
-    def last_build_stats(self):
+    def last_build_stats(self) -> Any:
         """Stats of the most recent index build on this thread, if any."""
         return getattr(self._build_stats, "stats", None)
 
@@ -289,26 +290,28 @@ class MetricsRegistry:
             for key, value in series.items():
                 current = mine.get(key)
                 mine[key] = value if current is None else max(current, value)
-        for name, series in other._histograms.items():
-            mine = self._histograms.setdefault(name, {})
-            for key, histogram in series.items():
-                current = mine.get(key)
+        for name, histogram_series in other._histograms.items():
+            merged = self._histograms.setdefault(name, {})
+            for key, histogram in histogram_series.items():
+                current = merged.get(key)
                 if current is None:
-                    current = mine[key] = Histogram(bounds=histogram.bounds)
+                    current = merged[key] = Histogram(bounds=histogram.bounds)
                 current.merge(histogram)
         return self
 
     # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         """A deterministic, JSON-serialisable document of every sample.
 
         Keys and label sets are sorted, so two registries holding the same
         samples render identically regardless of insertion order; spans and
         series keep their own (meaningful) order.
         """
-        def render(series: Mapping[LabelKey, object], value) -> list[dict]:
+        def render(
+            series: Mapping[LabelKey, Any], value: Callable[[Any], Any]
+        ) -> list[dict[str, Any]]:
             return [
                 {"labels": dict(key), "value": value(series[key])}
                 for key in sorted(series)
@@ -332,7 +335,7 @@ class MetricsRegistry:
         }
 
     @classmethod
-    def from_json(cls, document: dict) -> "MetricsRegistry":
+    def from_json(cls, document: dict[str, Any]) -> "MetricsRegistry":
         """Rebuild a registry from :meth:`to_json` output."""
         try:
             registry = cls()
@@ -345,9 +348,9 @@ class MetricsRegistry:
                 for entry in entries:
                     series[label_key(entry["labels"])] = entry["value"]
             for name, entries in document.get("histograms", {}).items():
-                series = registry._histograms.setdefault(name, {})
+                histogram_series = registry._histograms.setdefault(name, {})
                 for entry in entries:
-                    series[label_key(entry["labels"])] = Histogram.from_json(
+                    histogram_series[label_key(entry["labels"])] = Histogram.from_json(
                         entry["value"]
                     )
             for name, rows in document.get("series", {}).items():
@@ -385,11 +388,11 @@ class MetricsRegistry:
         for name in sorted(self._histograms):
             exposed = prometheus_name(name)
             lines.append(f"# TYPE {exposed} histogram")
-            series = self._histograms[name]
-            for key in sorted(series):
-                histogram = series[key]
+            histogram_series = self._histograms[name]
+            for key in sorted(histogram_series):
+                histogram = histogram_series[key]
                 cumulative = 0
-                for bound, cell in zip(histogram.bounds, histogram.counts):
+                for bound, cell in zip(histogram.bounds, histogram.counts, strict=False):
                     cumulative += cell
                     bucket_key = key + (("le", _render_value(bound)),)
                     lines.append(

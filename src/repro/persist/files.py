@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import PersistError
 
@@ -41,14 +41,21 @@ def save_observations_atomic(dataset: "ObservationDataset", path: str | Path) ->
     return count
 
 
-def read_json_document(path: str | Path, what: str) -> dict:
-    """Read one JSON document, translating every failure to PersistError."""
+def read_json_document(path: str | Path, what: str) -> dict[str, Any]:
+    """Read one JSON document, translating every failure to PersistError.
+
+    The document must be a JSON object: every persisted artifact is a
+    versioned mapping, so a bare array/scalar at the top level is corrupt.
+    """
     path = Path(path)
     if not path.exists():
         raise PersistError(f"{what} {path} does not exist")
     try:
-        return json.loads(path.read_text(encoding="utf-8"))
+        document = json.loads(path.read_text(encoding="utf-8"))
     except OSError as exc:
         raise PersistError(f"cannot read {what} {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise PersistError(f"{what} {path} is not valid JSON") from exc
+    if not isinstance(document, dict):
+        raise PersistError(f"{what} {path} is not a JSON object")
+    return document

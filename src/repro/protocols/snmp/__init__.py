@@ -19,7 +19,7 @@ both as a complement and as the baseline to beat.
 from repro.protocols.snmp.client import SnmpScanClient, SnmpScanRecord
 from repro.protocols.snmp.engine import SnmpEngineBehavior, SnmpEngineConfig
 from repro.protocols.snmp.engine_id import EngineId, EngineIdFormat
-from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_request, build_discovery_report
+from repro.protocols.snmp.v3 import SnmpV3Message, build_discovery_report, build_discovery_request
 
 __all__ = [
     "SnmpScanClient",

@@ -24,9 +24,9 @@ import enum
 import hashlib
 
 from repro.errors import SimulationError
-from repro.net.addresses import family_of, AddressFamily
+from repro.net.addresses import AddressFamily, family_of
 from repro.net.endpoint import Connection, LoopbackConnection
-from repro.net.icmp import IcmpMessage, IcmpType, PORT_UNREACHABLE_CODE
+from repro.net.icmp import PORT_UNREACHABLE_CODE, IcmpMessage, IcmpType
 from repro.protocols.bgp.speaker import BgpSpeakerBehavior
 from repro.protocols.snmp.engine import SnmpEngineBehavior
 from repro.protocols.ssh.server import SshServerBehavior

@@ -62,9 +62,10 @@ class IpidSampleBank:
             self._probes_issued += probes
         else:
             self._probes_reused += probes
-        obs.add(
-            "validation.probes", probes, outcome=outcome, vantage=self._vantage.name
-        )
+        if obs.is_enabled():
+            obs.add(
+                "validation.probes", probes, outcome=outcome, vantage=self._vantage.name
+            )
 
     @property
     def network(self) -> SimulatedInternet:

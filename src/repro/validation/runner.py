@@ -37,16 +37,16 @@ from repro.validation.report import (
     canonical_partition,
 )
 from repro.validation.spec import (
-    ValidatorSpec,
     VALIDATOR_KINDS,
+    ValidatorSpec,
     ally,
     display_name,
+    iffinder,
     midar,
     ptr,
     register_validator,
     sample,
     speedtrap,
-    iffinder,
     validator_kind,
 )
 from repro.validation.techniques import AllyPipeline, MidarConfig, MidarPipeline

@@ -12,8 +12,8 @@ from repro.core.engine import ObservationIndex, report_signature
 from repro.core.identifiers import IdentifierOptions
 from repro.core.pipeline import run_alias_resolution
 from repro.errors import DatasetError
-from repro.sources.records import Observation
 from repro.simnet.device import ServiceType
+from repro.sources.records import Observation
 
 
 @pytest.fixture(scope="module")

@@ -5,8 +5,8 @@ import pytest
 from repro.api import ReproSession, ScenarioConfig, SourceSpec, concat, standard_ports, union_of
 from repro.api.sources import ACTIVE_IPV4, SOURCES, register_source, source_kind
 from repro.errors import RegistryError
-from repro.sources.records import Observation, ObservationDataset
 from repro.simnet.device import ServiceType
+from repro.sources.records import Observation, ObservationDataset
 
 
 class TestSourceSpec:

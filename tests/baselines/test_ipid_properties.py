@@ -53,7 +53,7 @@ def test_single_bounded_counter_always_passes(start, velocity, gaps, fractions):
     now = 0.0
     value = start
     merged = [(now, value)]
-    for gap, fraction in zip(gaps, fractions):
+    for gap, fraction in zip(gaps, fractions, strict=False):
         now += gap
         # The counter advanced at most velocity * gap increments.
         value = (value + int(velocity * gap * fraction)) % IPID_MODULUS

@@ -1,6 +1,8 @@
 """Tests for the MIDAR pipeline, Ally, and Speedtrap on controlled devices."""
 
 
+import random
+
 from repro.baselines.ally import AllyProber
 from repro.baselines.ipid import TargetClass
 from repro.baselines.midar import MidarProber
@@ -15,8 +17,6 @@ from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
 from repro.simnet.churn import ChurnEvent, ChurnModel
 from repro.simnet.device import Device, DeviceRole, Interface
 from repro.simnet.network import SimulatedInternet, VantagePoint
-
-import random
 
 
 def build_network(churn=None):

@@ -1,0 +1,174 @@
+"""Baseline load, matching, and the staleness guarantees."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.baseline import (
+    STALE_BASELINE_RULE,
+    Baseline,
+    BaselineEntry,
+    render_baseline,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.runner import lint_paths
+from repro.errors import DatasetError
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def _finding(rule="no-wall-clock", path="src/repro/core/x.py", snippet="a = 1"):
+    return Finding(
+        path=path,
+        line=3,
+        column=5,
+        rule=rule,
+        message="m",
+        fixit="f",
+        snippet=snippet,
+    )
+
+
+def _write_tree(tmp_path, source=BAD_SOURCE):
+    target = tmp_path / "src" / "repro" / "core" / "clocked.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+class TestLoad:
+    def test_missing_file_is_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            Baseline.load(tmp_path / "nope.json")
+
+    def test_invalid_json_is_dataset_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(DatasetError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_non_object_document_is_dataset_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(DatasetError, match="'entries' list"):
+            Baseline.load(path)
+
+    def test_entry_missing_required_key_is_dataset_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": [{"rule": "no-wall-clock"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(DatasetError, match="missing"):
+            Baseline.load(path)
+
+    def test_empty_baseline_loads(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": []}), encoding="utf-8"
+        )
+        baseline = Baseline.load(path)
+        assert baseline.entries == []
+
+
+class TestApply:
+    def _entry(self, finding, reason="grandfathered"):
+        return BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            content=finding.snippet,
+            reason=reason,
+            line=finding.line,
+        )
+
+    def test_matching_entry_absorbs_the_finding(self):
+        finding = _finding()
+        baseline = Baseline([self._entry(finding)], path="b.json")
+        kept, baselined, problems = baseline.apply([finding])
+        assert kept == []
+        assert baselined == 1
+        assert problems == []
+
+    def test_matching_is_by_content_not_line_number(self):
+        finding = _finding()
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            content=finding.snippet,
+            reason="grandfathered",
+            line=999,
+        )
+        kept, baselined, problems = Baseline([entry]).apply([finding])
+        assert (kept, baselined, problems) == ([], 1, [])
+
+    def test_stale_entry_fails_the_run(self):
+        baseline = Baseline([self._entry(_finding())], path="b.json")
+        kept, baselined, problems = baseline.apply([])
+        assert kept == []
+        assert baselined == 0
+        [problem] = problems
+        assert problem.rule == STALE_BASELINE_RULE
+        assert problem.path == "b.json"
+        assert "stale" in problem.message
+
+    def test_reason_less_entry_fails_the_run(self):
+        finding = _finding()
+        baseline = Baseline([self._entry(finding, reason="  ")], path="b.json")
+        kept, baselined, problems = baseline.apply([finding])
+        assert baselined == 1  # still absorbs, but the entry itself is flagged
+        [problem] = problems
+        assert problem.rule == STALE_BASELINE_RULE
+        assert "reason" in problem.message
+
+    def test_multiset_budget_one_entry_one_finding(self):
+        finding = _finding()
+        baseline = Baseline([self._entry(finding)], path="b.json")
+        kept, baselined, problems = baseline.apply([finding, finding])
+        assert len(kept) == 1
+        assert baselined == 1
+        assert problems == []
+
+
+class TestRoundTrip:
+    def test_render_load_apply_round_trips(self, tmp_path):
+        _write_tree(tmp_path)
+        dirty = lint_paths([tmp_path / "src"], root=tmp_path)
+        assert [f.rule for f in dirty.findings] == ["no-wall-clock"]
+
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+        baseline_path.write_text(
+            render_baseline(dirty.findings, reason="pre-existing, tracked in #1"),
+            encoding="utf-8",
+        )
+        clean = lint_paths(
+            [tmp_path / "src"],
+            root=tmp_path,
+            baseline=Baseline.load(baseline_path),
+        )
+        assert clean.clean
+        assert clean.baselined == 1
+
+    def test_fixed_finding_makes_the_baseline_stale(self, tmp_path):
+        target = _write_tree(tmp_path)
+        dirty = lint_paths([tmp_path / "src"], root=tmp_path)
+        baseline_path = tmp_path / ".repro-lint-baseline.json"
+        baseline_path.write_text(
+            render_baseline(dirty.findings, reason="pre-existing"),
+            encoding="utf-8",
+        )
+        target.write_text("def stamp(clock):\n    return clock()\n", encoding="utf-8")
+        result = lint_paths(
+            [tmp_path / "src"],
+            root=tmp_path,
+            baseline=Baseline.load(baseline_path),
+        )
+        assert not result.clean
+        assert [f.rule for f in result.findings] == [STALE_BASELINE_RULE]

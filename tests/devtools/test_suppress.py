@@ -1,0 +1,106 @@
+"""Inline suppression behavior: honored with a reason, finding without."""
+
+import textwrap
+
+from repro.devtools.findings import ModuleUnderLint
+from repro.devtools.runner import lint_module, lint_source
+
+
+def _lint(source: str, module: str = "repro.core.fixture"):
+    return lint_source(textwrap.dedent(source), module=module, path="fixture.py")
+
+
+def _lint_counting(source: str, module: str = "repro.core.fixture"):
+    parsed = ModuleUnderLint.from_source(
+        textwrap.dedent(source), module=module, path="fixture.py"
+    )
+    return lint_module(parsed)
+
+
+class TestSuppressions:
+    def test_suppression_with_reason_drops_the_finding(self):
+        findings, suppressed = _lint_counting(
+            """
+            import time
+
+            now = time.time()  # repro-lint: disable=no-wall-clock -- clock shim boundary
+            """
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_suppression_only_covers_named_rules(self):
+        findings = _lint(
+            """
+            import time
+            import random
+
+            now = time.time()  # repro-lint: disable=no-unseeded-random -- wrong rule named
+            """
+        )
+        assert [finding.rule for finding in findings] == ["no-wall-clock"]
+
+    def test_multiple_rules_comma_separated(self):
+        findings, suppressed = _lint_counting(
+            """
+            import time
+            import random
+
+            pair = (time.time(), random.random())  # repro-lint: disable=no-wall-clock,no-unseeded-random -- fixture exercising both
+            """
+        )
+        assert findings == []
+        assert suppressed == 2
+
+    def test_missing_reason_is_a_finding_and_does_not_suppress(self):
+        findings = _lint(
+            """
+            import time
+
+            now = time.time()  # repro-lint: disable=no-wall-clock
+            """
+        )
+        rules = sorted(finding.rule for finding in findings)
+        assert rules == ["no-wall-clock", "suppression"]
+        [problem] = [f for f in findings if f.rule == "suppression"]
+        assert "reason" in problem.message
+
+    def test_unknown_rule_is_a_finding(self):
+        findings = _lint(
+            """
+            x = 1  # repro-lint: disable=no-such-rule -- misremembered id
+            """
+        )
+        assert [finding.rule for finding in findings] == ["suppression"]
+        assert "no-such-rule" in findings[0].message
+
+    def test_empty_rule_list_is_a_finding(self):
+        findings = _lint(
+            """
+            x = 1  # repro-lint: disable= -- suppressed what exactly
+            """
+        )
+        assert [finding.rule for finding in findings] == ["suppression"]
+        assert "names no rule" in findings[0].message
+
+    def test_pattern_inside_string_literal_is_ignored(self):
+        findings = _lint(
+            """
+            import time
+
+            DOC = "# repro-lint: disable=no-wall-clock -- not a comment"
+            now = time.time()
+            """
+        )
+        assert [finding.rule for finding in findings] == ["no-wall-clock"]
+
+    def test_suppression_on_a_different_line_does_not_apply(self):
+        findings = _lint(
+            """
+            import time
+
+            # repro-lint: disable=no-wall-clock -- comment on its own line
+            now = time.time()
+            """
+        )
+        assert [finding.rule for finding in findings] == ["no-wall-clock"]

@@ -92,7 +92,7 @@ class TestChurningCampaign:
 
     def test_incremental_matches_from_scratch_every_snapshot(self, captures, result):
         reference_engine = ResolutionEngine()
-        for capture, snapshot in zip(captures, result.snapshots):
+        for capture, snapshot in zip(captures, result.snapshots, strict=True):
             reference = reference_engine.resolve(capture.observations, name=capture.name)
             assert report_signature(snapshot.report) == report_signature(reference)
 

@@ -14,7 +14,7 @@ from repro.net.ipid import (
 
 def unwrapped_deltas(samples):
     """Differences between consecutive samples modulo the IPID space."""
-    return [(b - a) % IPID_MODULUS for a, b in zip(samples, samples[1:])]
+    return [(b - a) % IPID_MODULUS for a, b in zip(samples, samples[1:], strict=False)]
 
 
 class TestMonotonicCounter:

@@ -89,7 +89,9 @@ class TestResumeParity:
         )
         assert len(resumed.snapshots) == _SNAPSHOTS - checkpoint.completed
         for resolved, reference in zip(
-            resumed.snapshots, uninterrupted.snapshots[checkpoint.completed :]
+            resumed.snapshots,
+            uninterrupted.snapshots[checkpoint.completed :],
+            strict=True,
         ):
             assert report_signature(resolved.report) == report_signature(
                 reference.report
@@ -225,7 +227,7 @@ class TestRunInterleaving:
     def test_run_equals_collect_then_resolve(self, uninterrupted):
         campaign = _campaign()
         phased = campaign.resolve(campaign.collect())
-        for resolved, reference in zip(phased.snapshots, uninterrupted.snapshots):
+        for resolved, reference in zip(phased.snapshots, uninterrupted.snapshots, strict=True):
             assert report_signature(resolved.report) == report_signature(
                 reference.report
             )
@@ -285,7 +287,9 @@ class TestCheckpointRotation:
             engine=engine,
         )
         for resolved, reference in zip(
-            resumed.snapshots, uninterrupted.snapshots[checkpoint.completed :]
+            resumed.snapshots,
+            uninterrupted.snapshots[checkpoint.completed :],
+            strict=True,
         ):
             assert report_signature(resolved.report) == report_signature(reference.report)
 

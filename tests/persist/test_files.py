@@ -1,0 +1,47 @@
+"""The shared file primitives: atomic writes and guarded JSON reads."""
+
+import json
+
+import pytest
+
+from repro.errors import PersistError
+from repro.persist.files import read_json_document, write_atomic
+
+
+class TestWriteAtomic:
+    def test_writes_content_and_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "doc.json"
+        write_atomic(target, '{"v": 1}')
+        assert json.loads(target.read_text()) == {"v": 1}
+
+    def test_replaces_existing_file_without_residue(self, tmp_path):
+        target = tmp_path / "doc.json"
+        write_atomic(target, "old")
+        write_atomic(target, "new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestReadJsonDocument:
+    def test_reads_an_object(self, tmp_path):
+        target = tmp_path / "doc.json"
+        target.write_text('{"version": 2}', encoding="utf-8")
+        assert read_json_document(target, "fixture") == {"version": 2}
+
+    def test_missing_file_is_persist_error(self, tmp_path):
+        with pytest.raises(PersistError, match="does not exist"):
+            read_json_document(tmp_path / "absent.json", "fixture")
+
+    def test_invalid_json_is_persist_error(self, tmp_path):
+        target = tmp_path / "doc.json"
+        target.write_text("{oops", encoding="utf-8")
+        with pytest.raises(PersistError, match="not valid JSON"):
+            read_json_document(target, "fixture")
+
+    def test_non_object_document_is_persist_error(self, tmp_path):
+        # Every persisted artifact is a versioned mapping; a top-level
+        # array or scalar is a corrupt document, not a usable one.
+        target = tmp_path / "doc.json"
+        target.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(PersistError, match="not a JSON object"):
+            read_json_document(target, "fixture")

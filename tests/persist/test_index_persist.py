@@ -5,8 +5,8 @@ import json
 import pytest
 
 from repro.core.engine import ObservationIndex, ResolutionEngine, report_signature
-from repro.errors import PersistError
 from repro.core.identifiers import IdentifierOptions
+from repro.errors import PersistError
 from repro.persist.index import (
     index_from_document,
     index_to_document,

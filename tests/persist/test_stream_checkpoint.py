@@ -115,7 +115,9 @@ class TestResumeGate:
         resumed_updates = daemon.run()
         assert [u.name for u in resumed_updates] == ["snapshot-2", "snapshot-3"]
         for update, reference in zip(
-            resumed_updates, reference_updates[checkpoint.completed :]
+            resumed_updates,
+            reference_updates[checkpoint.completed :],
+            strict=True,
         ):
             assert report_signature(update.report) == report_signature(
                 reference.report

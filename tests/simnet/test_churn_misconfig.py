@@ -2,8 +2,8 @@
 
 import random
 
-from repro.protocols.ssh.server import SshServerConfig
 from repro.protocols.bgp.speaker import BgpSpeakerConfig
+from repro.protocols.ssh.server import SshServerConfig
 from repro.simnet.churn import ChurnEvent, ChurnModel
 from repro.simnet.device import Device, DeviceRole, Interface, ServiceType
 from repro.simnet.misconfig import (

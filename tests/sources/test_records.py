@@ -1,9 +1,9 @@
 """Tests for the normalised observation schema."""
 
 from repro.net.addresses import AddressFamily
+from repro.protocols.bgp.capabilities import Capability
 from repro.protocols.bgp.client import BgpScanRecord
 from repro.protocols.bgp.messages import BgpOpen
-from repro.protocols.bgp.capabilities import Capability
 from repro.protocols.snmp.client import SnmpScanRecord
 from repro.protocols.ssh.client import SshScanRecord
 from repro.simnet.device import ServiceType

@@ -123,5 +123,5 @@ class TestDaemonEquivalence:
             DaemonConfig(max_polls=snapshots),
         )
         updates = daemon.run()
-        for resolved, update in zip(result.snapshots, updates):
+        for resolved, update in zip(result.snapshots, updates, strict=True):
             assert report_signature(update.report) == report_signature(resolved.report)

@@ -216,7 +216,7 @@ class TestBatchEquivalence:
             previous = capture.observations
 
         assert len(updates) == len(result.snapshots)
-        for resolved, update in zip(result.snapshots, updates):
+        for resolved, update in zip(result.snapshots, updates, strict=True):
             assert report_signature(update.report) == report_signature(
                 resolved.report
             )
