@@ -1,0 +1,241 @@
+"""Benchmark of the probe-budget optimizer.
+
+Three claims are measured and asserted (always, at whatever
+``REPRO_BENCH_SCALE`` is in effect):
+
+* **Probe reduction with verdict parity** — a midar+ally+speedtrap
+  validation run under an uncapped
+  :class:`~repro.validation.budget.ProbeBudgetOptimizer` (shared
+  estimation, velocity cache, pass reuse, transitive pair skipping)
+  issues **at least 40 % fewer** network probes than the same validators
+  through the plain pipelines, with byte-identical decisions — candidate,
+  testable, agrees, partition and per-address classes — for every set of
+  every validator.
+* **Zero-probe reload** — after ``session.save``/``ReproSession.load``,
+  re-running the same validators re-scores entirely from the persisted
+  sample banks: exactly zero calls reach the network.
+* **Graceful degradation** — a capped run marks the sets it cannot
+  afford ``unresolved`` and never flips a verdict: every set the capped
+  run still resolves decides exactly as the uncapped run did.
+
+The scenario probes from a distributed vantage with ``loss_rate=0`` for
+the same reason ``bench_validation.py`` does: it isolates the saving from
+per-vantage IDS budgets and stochastic per-probe loss, which would
+otherwise flip borderline responses at probe times only one schedule
+visits.
+
+Run with the usual harness, e.g.::
+
+    REPRO_BENCH_SCALE=0.2 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_budget.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*' -q
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.validation.budget import is_unresolved
+from repro.validation.spec import ally, midar, sample, speedtrap
+
+#: Sample size / seed of every comparison (the Table 2 defaults).
+_SIZE, _SEED = 150, 7
+
+#: Minimum probe saving the uncapped optimizer must deliver.
+_MIN_SAVING = 0.40
+
+
+def _bench_config(**overrides):
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    return ScenarioConfig(scale=scale, seed=seed, **overrides)
+
+
+def _count_probes(network):
+    """Count ``sample_ipid`` calls at the network boundary."""
+    counter = {"probes": 0}
+    original = network.sample_ipid
+
+    def counting(address, vantage, now=0.0):
+        counter["probes"] += 1
+        return original(address, vantage, now=now)
+
+    network.sample_ipid = counting
+    return counter
+
+
+def _specs():
+    ipv4 = dict(
+        source="active",
+        protocol="ssh",
+        family="ipv4",
+        start_after="active-ipv6",
+        distributed=True,
+    )
+    ipv6 = dict(
+        source="active",
+        protocol="ssh",
+        family="ipv6",
+        start_after="active-ipv6",
+        distributed=True,
+    )
+    return (
+        sample(midar(**ipv4), size=_SIZE, seed=_SEED, max_size=10),
+        sample(ally(**ipv4), size=_SIZE, seed=_SEED, max_size=10),
+        sample(speedtrap(**ipv6), size=_SIZE, seed=_SEED, max_size=10),
+    )
+
+
+def _decisions(report):
+    return [
+        (v.candidate, v.testable, v.agrees, v.partition, v.classes)
+        for v in report.verdicts
+    ]
+
+
+def _plain_run(config):
+    session = ReproSession(config)
+    session.report("active")
+    session.dataset("active-ipv6")
+    counter = _count_probes(session.network)
+    reports = [session.validate(spec) for spec in _specs()]
+    return counter["probes"], reports
+
+
+def _budgeted_run(config, budget=None):
+    session = ReproSession(config)
+    session.report("active")
+    session.dataset("active-ipv6")
+    counter = _count_probes(session.network)
+    result = session.validate_budgeted(list(_specs()), budget=budget)
+    return counter["probes"], result, session
+
+
+def bench_budget_probe_reduction_with_parity(benchmark, bench_json):
+    """Uncapped optimizer: >= 40% fewer probes, byte-identical decisions."""
+    config = _bench_config(loss_rate=0.0)
+    plain_probes, plain_reports = _plain_run(config)
+
+    start = time.perf_counter()
+    budgeted_probes, result, _ = _budgeted_run(config)
+    elapsed = time.perf_counter() - start
+
+    for plain_report, budgeted in zip(plain_reports, result.reports):
+        assert _decisions(budgeted) == _decisions(plain_report), (
+            f"optimized {plain_report.validator} verdicts diverged from the "
+            "plain pipeline"
+        )
+    saving = 1 - budgeted_probes / plain_probes
+    assert saving >= _MIN_SAVING, (
+        f"optimizer saved only {saving:.1%} of {plain_probes} probes "
+        f"(budgeted run issued {budgeted_probes}); the bar is {_MIN_SAVING:.0%}"
+    )
+    assert result.spent == budgeted_probes
+
+    print()
+    print(
+        f"plain pipelines: {plain_probes} probes; optimized: {budgeted_probes} "
+        f"({saving:.1%} fewer; decision parity held over "
+        f"{sum(r.candidates for r in plain_reports)} sets, {1000 * elapsed:.0f} ms)"
+    )
+    bench_json.record(
+        "budget",
+        "probe_reduction_with_parity",
+        seconds=elapsed,
+        plain_probes=plain_probes,
+        budgeted_probes=budgeted_probes,
+        saving=round(saving, 4),
+        asserted=True,
+    )
+    benchmark.pedantic(lambda: budgeted_probes, rounds=1, iterations=1)
+
+
+def bench_budget_zero_probe_reload(benchmark, bench_json, tmp_path):
+    """A reloaded session re-scores the same validators fully offline."""
+    config = _bench_config(loss_rate=0.0)
+    _, result, session = _budgeted_run(config)
+    directory = tmp_path / "session"
+    session.save(directory)
+
+    start = time.perf_counter()
+    loaded = ReproSession.load(directory)
+    counter = _count_probes(loaded.network)
+    reloaded = loaded.validate_budgeted(list(_specs()))
+    elapsed = time.perf_counter() - start
+
+    assert counter["probes"] == 0, (
+        f"a reloaded session issued {counter['probes']} probes re-scoring "
+        "banked schedules; the contract is exactly zero"
+    )
+    for before, after in zip(result.reports, reloaded.reports):
+        assert _decisions(after) == _decisions(before), (
+            f"offline re-score of {before.validator} diverged from the live run"
+        )
+
+    print()
+    print(
+        f"saved -> loaded -> re-scored {sum(r.candidates for r in result.reports)} "
+        f"sets with 0 network probes ({1000 * elapsed:.0f} ms)"
+    )
+    bench_json.record(
+        "budget",
+        "zero_probe_reload",
+        seconds=elapsed,
+        reload_probes=counter["probes"],
+        asserted=True,
+    )
+    benchmark.pedantic(lambda: counter["probes"], rounds=1, iterations=1)
+
+
+def bench_budget_capped_never_flips(benchmark, bench_json):
+    """A capped run marks skipped sets unresolved and never flips a verdict."""
+    config = _bench_config(loss_rate=0.0)
+    _, uncapped, _ = _budgeted_run(config)
+    cap = uncapped.spent // 3
+
+    start = time.perf_counter()
+    _, capped, _ = _budgeted_run(config, budget=cap)
+    elapsed = time.perf_counter() - start
+
+    assert capped.closed and capped.spent <= cap
+    assert capped.unresolved_count > 0, "the cap was never hit"
+    resolved = flips = 0
+    for uncapped_report, capped_report in zip(uncapped.reports, capped.reports):
+        for full, cut in zip(uncapped_report.verdicts, capped_report.verdicts):
+            if is_unresolved(cut):
+                continue
+            resolved += 1
+            if (cut.testable, cut.agrees, cut.partition) != (
+                full.testable,
+                full.agrees,
+                full.partition,
+            ):
+                flips += 1
+    assert resolved > 0, "the capped run resolved nothing"
+    assert flips == 0, f"{flips} verdicts flipped under the cap"
+
+    print()
+    print(
+        f"capped at {cap} of {uncapped.spent} probes: {resolved} sets resolved "
+        f"identically, {capped.unresolved_count} unresolved, 0 flips "
+        f"({1000 * elapsed:.0f} ms)"
+    )
+    bench_json.record(
+        "budget",
+        "capped_never_flips",
+        seconds=elapsed,
+        cap=cap,
+        resolved=resolved,
+        unresolved=capped.unresolved_count,
+        flips=flips,
+        asserted=True,
+    )
+    benchmark.pedantic(lambda: flips, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":  # pragma: no cover - ad-hoc runs
+    pytest.main([__file__, "-o", "python_files=bench_*.py",
+                 "-o", "python_functions=bench_*", "--benchmark-disable", "-q", "-s"])

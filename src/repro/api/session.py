@@ -68,6 +68,7 @@ class ReproSession:
         self._reports: dict[tuple[SourceSpec, str], AliasReport] = {}
         self._validations: dict[tuple["ValidatorSpec", str], "ValidationReport"] = {}
         self._validation_run: "ValidationRun | None" = None
+        self._pending_bank_states: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # Shared measurement state
@@ -229,7 +230,36 @@ class ReproSession:
             from repro.validation.runner import ValidationRun
 
             self._validation_run = ValidationRun(self.network, session=self)
+            for state in self._pending_bank_states:
+                self._validation_run.restore_bank(state)
         return self._validation_run
+
+    def validate_budgeted(
+        self,
+        validators: "Iterable[str | ValidatorSpec]",
+        budget: int | None = None,
+        velocity_ttl: float | None = None,
+    ):
+        """Run several validators under one probe-budget optimizer.
+
+        The optimizer routes the bank-based validators through the shared
+        estimation stage and velocity cache, processes candidate sets in
+        priority order, and spends fresh probes from one global budget
+        (``budget=None`` optimizes without a cap).  Sets the budget cannot
+        afford are reported ``unresolved``; a session restored from
+        :meth:`save` answers matching schedules from its persisted banks —
+        zero network probes.  Returns a :class:`~repro.validation.budget.
+        BudgetRunResult`; reports are *not* entered into the
+        :meth:`validate` cache (budgeted runs are explicit experiments,
+        not the canonical per-spec verdicts).
+        """
+        from repro.validation.budget import DEFAULT_VELOCITY_TTL, run_budgeted
+
+        ttl = velocity_ttl if velocity_ttl is not None else DEFAULT_VELOCITY_TTL
+        with obs.span("session.validate_budgeted", budget=budget):
+            return run_budgeted(
+                self.validation_run, list(validators), budget=budget, velocity_ttl=ttl
+            )
 
     def validate(
         self, validator: "str | ValidatorSpec", name: str | None = None
@@ -289,6 +319,25 @@ class ReproSession:
     ) -> None:
         """Seed the validation cache (used by :mod:`repro.persist` on load)."""
         self._validations[(spec, name)] = report
+
+    def prime_bank_state(self, state: dict) -> None:
+        """Queue a persisted sample-bank state (used by persist on load).
+
+        The state is installed lazily when :attr:`validation_run` is first
+        built, so loading a session stays cheap when it never validates.
+        """
+        self._pending_bank_states.append(state)
+
+    def validation_bank_states(self) -> list[dict]:
+        """Exported states of every sample bank this session holds.
+
+        Live banks win over still-pending loaded states: once a run
+        exists, its banks already include everything restored plus any
+        probing since.
+        """
+        if self._validation_run is not None:
+            return [bank.export_state() for bank in self._validation_run.banks().values()]
+        return list(self._pending_bank_states)
 
     def save(self, directory) -> "ReproSession":
         """Persist this session's configuration and caches to ``directory``.

@@ -262,6 +262,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the IPv6 hitlist scans in --snapshots mode",
     )
     validate.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the requested validators under the probe-budget optimizer "
+        "with at most N fresh network probes (N=0 re-scores from persisted "
+        "banks only); candidate sets the budget cannot afford are reported "
+        "unresolved, never mis-verdicted",
+    )
+    validate.add_argument(
         "--output", type=Path, default=None, help="optional directory for validation.md"
     )
     _add_metrics_flag(validate)
@@ -692,13 +702,32 @@ def _command_validate(args: argparse.Namespace) -> int:
     except RegistryError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if args.budget is not None and args.budget < 0:
+        print("--budget cannot be negative", file=sys.stderr)
+        return 2
     session = _session(args)
     if args.snapshots is not None:
         return _validate_snapshots(args, session, names)
-    reports = [session.validate(name) for name, _ in names]
+    if args.budget is not None:
+        result = session.validate_budgeted(
+            [name for name, _ in names], budget=args.budget
+        )
+        reports = list(result.reports)
+    else:
+        reports = [session.validate(name) for name, _ in names]
     print(validation_table(reports))
     print()
-    print(probe_accounting_summary(reports))
+    banks = session.validation_run.banks().values()
+    print(probe_accounting_summary(reports, banks=banks))
+    if args.budget is not None:
+        print(
+            f"probe budget: spent {result.spent} of {result.limit} fresh probes"
+            + (
+                f"; {result.unresolved_count} candidate sets left unresolved"
+                if result.unresolved_count
+                else ""
+            )
+        )
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
         path = args.output / "validation.md"
@@ -722,13 +751,28 @@ def _validate_snapshots(args: argparse.Namespace, session, names) -> int:
     # One shared run across validators: later ones answer pair tests from
     # the banks the earlier ones filled, exactly like single-shot mode.
     shared_run = ValidationRun(campaign.network)
+    optimizer = None
+    if args.budget is not None:
+        from repro.validation.budget import ProbeBudgetOptimizer
+
+        # One optimizer (and one global budget) across every validator and
+        # snapshot; the staleness bound keeps cross-snapshot reuse honest.
+        optimizer = ProbeBudgetOptimizer(budget=args.budget)
     series = {}
     for position, (name, spec) in enumerate(names):
         if position:
             print()
-        rows = validate_snapshots(campaign, result, spec, run=shared_run)
+        rows = validate_snapshots(
+            campaign, result, spec, run=shared_run, optimizer=optimizer
+        )
         series[name] = rows
         print(snapshot_validation_table(rows, name))
+    if optimizer is not None:
+        print()
+        print(
+            f"probe budget: spent {optimizer.budget.spent} of "
+            f"{optimizer.budget.limit} fresh probes"
+        )
     if args.output is not None:
         args.output.mkdir(parents=True, exist_ok=True)
         path = args.output / "validation.md"

@@ -19,12 +19,21 @@ the byte-faithful observation round-trip of :mod:`repro.io`:
 * :mod:`repro.persist.campaign` — longitudinal campaign checkpoints:
   stop after snapshot *k*, resume to *k+n* with incremental
   re-resolution intact (``repro longitudinal --checkpoint/--resume``).
+* :mod:`repro.persist.bank` — validation sample-bank documents
+  (:meth:`~repro.validation.bank.IpidSampleBank.export_state`),
+  signature-verified on load; what lets a reloaded session re-score
+  cached validation schedules with zero network probes.
 
 Every artifact embeds a digest of its canonical state and fails loudly
 (:class:`~repro.errors.PersistError`) when what was restored would not
 derive the same reports as what was saved.
 """
 
+from repro.persist.bank import (
+    bank_state_from_document,
+    bank_state_signature,
+    bank_state_to_document,
+)
 from repro.persist.campaign import (
     CampaignCheckpointer,
     LoadedCheckpoint,
@@ -58,6 +67,9 @@ from repro.persist.validation import (
 __all__ = [
     "CampaignCheckpointer",
     "LoadedCheckpoint",
+    "bank_state_from_document",
+    "bank_state_signature",
+    "bank_state_to_document",
     "load_checkpoint",
     "load_index",
     "load_session",

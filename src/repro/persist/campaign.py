@@ -50,6 +50,7 @@ from repro.longitudinal.campaign import (
 )
 from repro.longitudinal.engine import LongitudinalEngine
 from repro.net.addresses import AddressFamily
+from repro.persist.bank import bank_state_from_document, bank_state_to_document
 from repro.persist.files import (
     read_json_document,
     save_observations_atomic,
@@ -93,12 +94,18 @@ class CampaignCheckpointer:
         prior_stability: dict[str, list[dict]] | None = None,
         keep: int = 1,
         prior_metric_series: list[dict] | None = None,
+        validation_run=None,
     ) -> None:
         if keep < 1:
             raise PersistError("a checkpointer must keep at least one snapshot")
         self.directory = Path(directory)
         self.scenario = scenario
         self.keep = keep
+        #: An optional :class:`~repro.validation.runner.ValidationRun`
+        #: whose sample banks are persisted alongside each checkpoint
+        #: (``bank-NNN.json``), so a resumed per-snapshot validation series
+        #: re-scores already-probed schedules offline.
+        self.validation_run = validation_run
         self._stability: dict[str, list[dict]] = {
             tag: list((prior_stability or {}).get(tag, ())) for tag in _FAMILY_TAGS.values()
         }
@@ -145,6 +152,19 @@ class CampaignCheckpointer:
             ObservationDataset(capture.name, capture.observations),
             directory / snapshot_file,
         )
+        bank_entries = []
+        if self.validation_run is not None:
+            for position, bank in enumerate(self.validation_run.banks().values()):
+                bank_file = f"bank-{position:03d}.json"
+                bank_document = bank_state_to_document(bank.export_state())
+                write_atomic(directory / bank_file, json.dumps(bank_document))
+                bank_entries.append(
+                    {
+                        "file": bank_file,
+                        "signature": bank_document["signature"],
+                        "vantage": bank.vantage.name,
+                    }
+                )
         vantage = campaign.vantage
         manifest = {
             "version": CHECKPOINT_FORMAT_VERSION,
@@ -171,6 +191,7 @@ class CampaignCheckpointer:
             ],
             "stability": self._stability,
             "metric_series": self._metric_series,
+            "banks": bank_entries,
             "retained": self._retained_numbers(directory, completed),
         }
         # The manifest lands last: whatever it describes is already on disk.
@@ -235,6 +256,10 @@ class LoadedCheckpoint:
             (:func:`~repro.longitudinal.campaign.snapshot_metrics_row`);
             feed back into a checkpointer on resume so the persisted series
             stays equal to an uninterrupted run's.
+        bank_states: verified validation sample-bank states persisted with
+            the checkpoint (empty for pre-probe-budget checkpoints); feed
+            each into ``ValidationRun.restore_bank`` to resume per-snapshot
+            validation without re-probing completed schedules.
     """
 
     directory: Path
@@ -250,6 +275,7 @@ class LoadedCheckpoint:
     probe_counts: dict[tuple[str, int, int], int]
     stability: dict[str, list[dict]]
     metric_series: list[dict] = dataclasses.field(default_factory=list)
+    bank_states: list[dict] = dataclasses.field(default_factory=list)
 
     def stability_rows(self, family: AddressFamily) -> list[SnapshotStability]:
         """The completed snapshots' stability metrics for one family."""
@@ -298,6 +324,7 @@ def load_checkpoint(directory: str | Path) -> LoadedCheckpoint:
             for tag in _FAMILY_TAGS.values()
         }
         metric_series = [dict(row) for row in manifest.get("metric_series", ())]
+        bank_entries = list(manifest.get("banks", ()))
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -327,6 +354,21 @@ def load_checkpoint(directory: str | Path) -> LoadedCheckpoint:
             f"checkpoint last-snapshot file holds {len(dataset)} observations, "
             f"manifest expects {expected_observations}"
         )
+    bank_states = []
+    for entry in bank_entries:
+        bank_document = read_json_document(directory / entry["file"], "bank document")
+        expected_signature = entry.get("signature")
+        if (
+            expected_signature is not None
+            and bank_document.get("signature") != expected_signature
+        ):
+            raise PersistError(
+                f"bank {entry['file']} does not match the checkpoint manifest "
+                f"(manifest {str(expected_signature)[:12]}…, file "
+                f"{str(bank_document.get('signature'))[:12]}…); the checkpoint "
+                "was likely torn mid-write"
+            )
+        bank_states.append(bank_state_from_document(bank_document))
     return LoadedCheckpoint(
         directory=directory,
         scenario=scenario,
@@ -341,6 +383,7 @@ def load_checkpoint(directory: str | Path) -> LoadedCheckpoint:
         probe_counts=probe_counts,
         stability=stability,
         metric_series=metric_series,
+        bank_states=bank_states,
     )
 
 

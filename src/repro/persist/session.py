@@ -12,6 +12,10 @@ A saved session is a directory:
   (:mod:`repro.persist.report`), signature-verified on load.
 * ``validations/NNN.json`` — one document per cached validation report
   (:mod:`repro.persist.validation`), signature-verified on load.
+* ``banks/NNN.json`` — one document per validation sample bank
+  (:mod:`repro.persist.bank`), signature-verified on load; a reloaded
+  session re-scores matching validation schedules from these with zero
+  network probes.
 
 ``load_session`` rebuilds the session with both caches primed: a source
 that was collected before the save never re-runs, and a report that was
@@ -32,6 +36,7 @@ from repro.api.sources import SourceSpec
 from repro.core.identifiers import IdentifierOptions
 from repro.errors import DatasetError, PersistError
 from repro.io.datasets import load_observations
+from repro.persist.bank import bank_state_from_document, bank_state_to_document
 from repro.persist.files import (
     read_json_document,
     save_observations_atomic,
@@ -136,6 +141,18 @@ def save_session(session: "ReproSession", directory: str | Path) -> Path:
                 "signature": document["signature"],
             }
         )
+    bank_entries = []
+    for position, state in enumerate(session.validation_bank_states()):
+        relative = f"banks/{position:03d}.json"
+        document = bank_state_to_document(state)
+        write_atomic(directory / relative, json.dumps(document))
+        bank_entries.append(
+            {
+                "file": relative,
+                "signature": document["signature"],
+                "vantage": state.get("vantage", {}).get("name"),
+            }
+        )
     manifest = {
         "version": SESSION_FORMAT_VERSION,
         "config": dataclasses.asdict(session.config),
@@ -143,6 +160,7 @@ def save_session(session: "ReproSession", directory: str | Path) -> Path:
         "datasets": dataset_entries,
         "reports": report_entries,
         "validations": validation_entries,
+        "banks": bank_entries,
     }
     write_atomic(directory / SESSION_MANIFEST, json.dumps(manifest, indent=2))
     return directory
@@ -183,6 +201,8 @@ def load_session(
         report_entries = manifest["reports"]
         # Absent in pre-validation-subsystem sessions; they load fine.
         validation_entries = manifest.get("validations", [])
+        # Absent in pre-probe-budget sessions; they load fine too.
+        bank_entries = manifest.get("banks", [])
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -239,4 +259,18 @@ def load_session(
                 "likely torn mid-save"
             )
         session.prime_validation(spec, entry["name"], validation_from_document(document))
+    for entry in bank_entries:
+        document = read_json_document(directory / entry["file"], "bank document")
+        expected_signature = entry.get("signature")
+        if (
+            expected_signature is not None
+            and document.get("signature") != expected_signature
+        ):
+            raise PersistError(
+                f"bank {entry['file']} does not match the session manifest "
+                f"(manifest {str(expected_signature)[:12]}…, file "
+                f"{str(document.get('signature'))[:12]}…); the session was "
+                "likely torn mid-save"
+            )
+        session.prime_bank_state(bank_state_from_document(document))
     return session

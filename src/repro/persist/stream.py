@@ -39,6 +39,7 @@ from repro.errors import DatasetError, PersistError
 from repro.io.datasets import load_observations
 from repro.longitudinal.campaign import LongitudinalCampaign, LongitudinalConfig
 from repro.longitudinal.engine import LongitudinalEngine
+from repro.persist.bank import bank_state_from_document, bank_state_to_document
 from repro.persist.files import (
     read_json_document,
     save_observations_atomic,
@@ -72,12 +73,17 @@ class StreamCheckpointer:
         directory: str | Path,
         scenario: ScenarioConfig,
         keep: int = 1,
+        validation_run=None,
     ) -> None:
         if keep < 1:
             raise PersistError("a checkpointer must keep at least one poll")
         self.directory = Path(directory)
         self.scenario = scenario
         self.keep = keep
+        #: An optional :class:`~repro.validation.runner.ValidationRun`
+        #: whose sample banks ride along with each checkpoint (see
+        #: :class:`~repro.persist.campaign.CampaignCheckpointer`).
+        self.validation_run = validation_run
 
     def save(
         self,
@@ -101,6 +107,19 @@ class StreamCheckpointer:
         save_observations_atomic(
             ObservationDataset(last_name, observations), directory / poll_file
         )
+        bank_entries = []
+        if self.validation_run is not None:
+            for position, bank in enumerate(self.validation_run.banks().values()):
+                bank_file = f"bank-{position:03d}.json"
+                bank_document = bank_state_to_document(bank.export_state())
+                write_atomic(directory / bank_file, json.dumps(bank_document))
+                bank_entries.append(
+                    {
+                        "file": bank_file,
+                        "signature": bank_document["signature"],
+                        "vantage": bank.vantage.name,
+                    }
+                )
         vantage = campaign.vantage
         manifest = {
             "version": STREAM_CHECKPOINT_VERSION,
@@ -128,6 +147,7 @@ class StreamCheckpointer:
                     campaign.network.export_probe_counts().items()
                 )
             ],
+            "banks": bank_entries,
             "retained": self._retained_numbers(directory, completed),
         }
         # The manifest lands last: whatever it describes is already on disk.
@@ -179,6 +199,8 @@ class LoadedStreamCheckpoint:
         window: the streaming engine's emit-window state.
         event_counts: cumulative published-event counts at the checkpoint.
         probe_counts: per-(vantage, AS, window) IDS probe counters.
+        bank_states: verified validation sample-bank states persisted with
+            the checkpoint (empty for pre-probe-budget checkpoints).
     """
 
     directory: Path
@@ -195,6 +217,7 @@ class LoadedStreamCheckpoint:
     window: dict
     event_counts: dict[str, int]
     probe_counts: dict[tuple[str, int, int], int]
+    bank_states: list[dict] = dataclasses.field(default_factory=list)
 
 
 def load_stream_checkpoint(directory: str | Path) -> LoadedStreamCheckpoint:
@@ -236,6 +259,7 @@ def load_stream_checkpoint(directory: str | Path) -> LoadedStreamCheckpoint:
             (str(vantage_name), int(asn), int(window_id)): int(count)
             for vantage_name, asn, window_id, count in manifest.get("probe_counts", ())
         }
+        bank_entries = list(manifest.get("banks", ()))
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -267,6 +291,21 @@ def load_stream_checkpoint(directory: str | Path) -> LoadedStreamCheckpoint:
             f"stream checkpoint poll file holds {len(dataset)} observations, "
             f"manifest expects {expected_observations}"
         )
+    bank_states = []
+    for entry in bank_entries:
+        bank_document = read_json_document(directory / entry["file"], "bank document")
+        expected_signature = entry.get("signature")
+        if (
+            expected_signature is not None
+            and bank_document.get("signature") != expected_signature
+        ):
+            raise PersistError(
+                f"bank {entry['file']} does not match the stream checkpoint "
+                f"manifest (manifest {str(expected_signature)[:12]}…, file "
+                f"{str(bank_document.get('signature'))[:12]}…); the checkpoint "
+                "was likely torn mid-write"
+            )
+        bank_states.append(bank_state_from_document(bank_document))
     return LoadedStreamCheckpoint(
         directory=directory,
         scenario=scenario,
@@ -282,6 +321,7 @@ def load_stream_checkpoint(directory: str | Path) -> LoadedStreamCheckpoint:
         window=window,
         event_counts=event_counts,
         probe_counts=probe_counts,
+        bank_states=bank_states,
     )
 
 

@@ -21,12 +21,33 @@ already have:
   :class:`ValidationReport` aggregates (testable coverage, agreement).
 * :mod:`repro.validation.longitudinal` — per-snapshot validation of a
   churning campaign (the paper's MIDAR-disagreement series).
+* :mod:`repro.validation.budget` — the probe-budget optimizer: shared
+  estimation, the velocity cache, the adaptive :class:`ProbeBudget`
+  scheduler, and the ``consensus()`` majority-vote combinator.
 
 Entry points: ``ReproSession.validate(spec_or_name)`` (cached, persisted
-by :mod:`repro.persist`) and the ``repro validate`` CLI subcommand.
+by :mod:`repro.persist`), ``ReproSession.validate_budgeted(...)`` and the
+``repro validate`` CLI subcommand (``--budget N``).
 """
 
 from repro.validation.bank import IpidSampleBank
+from repro.validation.budget import (
+    DEFAULT_VELOCITY_TTL,
+    BudgetedValidation,
+    BudgetRunResult,
+    ConsensusSetBreakdown,
+    ProbeBudget,
+    ProbeBudgetExhausted,
+    ProbeBudgetOptimizer,
+    SetOutcome,
+    VelocityCache,
+    VelocityEntry,
+    consensus_breakdown,
+    consensus_report,
+    is_unresolved,
+    run_budgeted,
+    unresolved_verdict,
+)
 from repro.validation.longitudinal import SnapshotValidation, validate_snapshots
 from repro.validation.report import CandidateSets, SetVerdict, ValidationReport
 from repro.validation.runner import (
@@ -41,6 +62,7 @@ from repro.validation.spec import (
     VALIDATORS,
     ValidatorSpec,
     ally,
+    consensus,
     display_name,
     family_subset,
     iffinder,
@@ -63,12 +85,20 @@ from repro.validation.techniques import (
 __all__ = [
     "AllyPipeline",
     "AllySetResult",
+    "BudgetRunResult",
+    "BudgetedValidation",
     "CandidateSets",
+    "ConsensusSetBreakdown",
     "DEFAULT_VALIDATION_VANTAGE",
+    "DEFAULT_VELOCITY_TTL",
     "IpidSampleBank",
     "MidarConfig",
     "MidarPipeline",
     "MidarSetVerdict",
+    "ProbeBudget",
+    "ProbeBudgetExhausted",
+    "ProbeBudgetOptimizer",
+    "SetOutcome",
     "SetVerdict",
     "SnapshotValidation",
     "ValidationReport",
@@ -76,19 +106,27 @@ __all__ = [
     "ValidatorSpec",
     "VALIDATOR_KINDS",
     "VALIDATORS",
+    "VelocityCache",
+    "VelocityEntry",
     "ally",
     "candidate_sets",
+    "consensus",
+    "consensus_breakdown",
+    "consensus_report",
     "display_name",
     "family_subset",
     "iffinder",
+    "is_unresolved",
     "midar",
     "named_validator",
     "ptr",
     "register_validator",
+    "run_budgeted",
     "run_validator",
     "sample",
     "speedtrap",
     "table2_midar_spec",
+    "unresolved_verdict",
     "validate_snapshots",
     "validator_kind",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.longitudinal.campaign import CampaignResult, LongitudinalCampaign
+from repro.validation.budget import ProbeBudgetOptimizer
 from repro.validation.report import ValidationReport
 from repro.validation.runner import ValidationRun, candidate_sets, run_validator
 from repro.validation.spec import ValidatorSpec, named_validator
@@ -44,6 +45,7 @@ def validate_snapshots(
     validator: str | ValidatorSpec = "midar",
     probe_lag: float | None = None,
     run: ValidationRun | None = None,
+    optimizer: ProbeBudgetOptimizer | None = None,
 ) -> list[SnapshotValidation]:
     """Run one validator over every snapshot's index-derived sets.
 
@@ -64,25 +66,39 @@ def validate_snapshots(
             ``campaign.network``) across several ``validate_snapshots``
             calls so later validators reuse the banked series of earlier
             ones; by default each call builds a fresh run.
+        optimizer: a :class:`~repro.validation.budget.
+            ProbeBudgetOptimizer` to attach for the series.  The
+            optimizer's staleness bound (default one simulated day) is
+            shorter than any realistic campaign interval, so snapshot N's
+            cached velocities and pair evidence are expired by snapshot
+            N+1's probing time and every snapshot re-probes live — the
+            churn-driven disagreement mechanism stays observable, while
+            within-snapshot sharing still applies.
     """
     spec = validator if isinstance(validator, ValidatorSpec) else named_validator(validator)
     lag = probe_lag if probe_lag is not None else campaign.config.interval
     if run is None:
         run = ValidationRun(campaign.network)
     leaf = spec.leaf()
+    previous = run.optimizer
+    if optimizer is not None:
+        run.optimizer = optimizer
     rows: list[SnapshotValidation] = []
-    for resolved in result.snapshots:
-        capture = resolved.capture
-        candidates = candidate_sets(resolved.report, leaf)
-        report = run_validator(
-            run, spec, candidates=candidates, start_time=capture.time + lag
-        )
-        rows.append(
-            SnapshotValidation(
-                snapshot=capture.index,
-                time=capture.time,
-                probed_at=capture.time + lag,
-                report=report,
+    try:
+        for resolved in result.snapshots:
+            capture = resolved.capture
+            candidates = candidate_sets(resolved.report, leaf)
+            report = run_validator(
+                run, spec, candidates=candidates, start_time=capture.time + lag
             )
-        )
+            rows.append(
+                SnapshotValidation(
+                    snapshot=capture.index,
+                    time=capture.time,
+                    probed_at=capture.time + lag,
+                    report=report,
+                )
+            )
+    finally:
+        run.optimizer = previous
     return rows

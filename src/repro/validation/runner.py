@@ -40,6 +40,7 @@ from repro.validation.spec import (
     VALIDATOR_KINDS,
     ValidatorSpec,
     ally,
+    consensus,
     display_name,
     iffinder,
     midar,
@@ -53,6 +54,7 @@ from repro.validation.techniques import AllyPipeline, MidarConfig, MidarPipeline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.api.session import ReproSession
+    from repro.validation.budget import ProbeBudgetOptimizer
 
 #: The vantage point bank-based validators probe from unless a spec
 #: overrides it.  One shared vantage is what lets validators share one
@@ -73,6 +75,10 @@ class ValidationRun:
         self.network = network
         self.session = session
         self._banks: dict[tuple[str, str, bool], IpidSampleBank] = {}
+        #: When set (see :func:`repro.validation.budget.run_budgeted`), the
+        #: bank-based builders route through the budgeted pipelines.
+        self.optimizer: "ProbeBudgetOptimizer | None" = None
+        self._start_cache: dict[tuple[str, float], float] = {}
 
     def bank(self, vantage: VantagePoint) -> IpidSampleBank:
         """The shared sample bank of one vantage point (built once)."""
@@ -90,6 +96,40 @@ class ValidationRun:
         same totals the obs layer's ``validation.probes`` counters carry.
         """
         return self._banks
+
+    def restore_bank(self, state: dict) -> IpidSampleBank:
+        """Install a persisted bank state (replacing any bank of its vantage).
+
+        The restored bank carries every banked series, pair and canonical
+        estimation entry of the saved run, so a reloaded session re-scores
+        matching validation specs fully offline — zero network probes.
+        """
+        bank = IpidSampleBank.from_state(self.network, state)
+        key = (bank.vantage.name, bank.vantage.address, bank.vantage.distributed)
+        self._banks[key] = bank
+        return bank
+
+    def derived_start(self, after: str, lag: float) -> float:
+        """Dataset-relative start times, memoised per (dataset, lag).
+
+        Validators that compute equal ``start_after``/``start_lag``
+        schedules must land on float-identical start times so their
+        estimation and corroboration collections hit one bank key instead
+        of near-miss duplicates — a measured contributor to the old ~7%
+        reuse rate.
+        """
+        key = (after, lag)
+        start = self._start_cache.get(key)
+        if start is None:
+            if self.session is None:
+                raise ValidationError(
+                    f"deriving a start time from dataset {after!r} needs a session"
+                )
+            timestamps = [
+                observation.timestamp for observation in self.session.dataset(after)
+            ]
+            start = self._start_cache[key] = max(timestamps) + lag if timestamps else 0.0
+        return start
 
 
 def run_validator(
@@ -164,9 +204,7 @@ def _derive_start(run: ValidationRun, spec: ValidatorSpec) -> float:
             f"validator {spec.describe()} derives its start time from dataset "
             f"{after!r}, which needs a session; pass start_time explicitly"
         )
-    timestamps = [observation.timestamp for observation in run.session.dataset(str(after))]
-    lag = float(spec.param("start_lag", 3600.0))
-    return max(timestamps) + lag if timestamps else 0.0
+    return run.derived_start(str(after), float(spec.param("start_lag", 3600.0)))
 
 
 def _vantage_from(spec: ValidatorSpec) -> VantagePoint:
@@ -212,7 +250,14 @@ def _run_midar_like(
         candidates = _derive_candidates(run, spec)
     start = start_time if start_time is not None else _derive_start(run, spec)
     bank = run.bank(_vantage_from(spec))
-    pipeline = MidarPipeline(bank, _midar_config_from(spec, default_config))
+    config = _midar_config_from(spec, default_config)
+    if run.optimizer is not None:
+        from repro.validation.budget import run_midar_like_budgeted
+
+        return run_midar_like_budgeted(
+            spec, candidates, start, bank, config, ipv6_only, run.optimizer
+        )
+    pipeline = MidarPipeline(bank, config)
     issued_before, reused_before = bank.probes_issued, bank.probes_reused
     verdicts: list[SetVerdict] = []
     now = start
@@ -273,6 +318,21 @@ def _build_ally(run, spec, candidates, start_time):
         candidates = _derive_candidates(run, spec)
     start = start_time if start_time is not None else _derive_start(run, spec)
     bank = run.bank(_vantage_from(spec))
+    max_set_size = int(spec.param("max_set_size", 10))
+    if run.optimizer is not None:
+        from repro.validation.budget import run_ally_budgeted
+
+        return run_ally_budgeted(
+            spec,
+            candidates,
+            start,
+            bank,
+            rounds=int(spec.param("rounds", 3)),
+            interval=float(spec.param("interval", 0.5)),
+            max_velocity=float(spec.param("max_velocity", 2_000.0)),
+            max_set_size=max_set_size,
+            optimizer=run.optimizer,
+        )
     pipeline = AllyPipeline(
         bank,
         rounds=int(spec.param("rounds", 3)),
@@ -280,7 +340,6 @@ def _build_ally(run, spec, candidates, start_time):
         max_velocity=float(spec.param("max_velocity", 2_000.0)),
         reuse=bool(spec.param("reuse", True)),
     )
-    max_set_size = int(spec.param("max_set_size", 10))
     issued_before, reused_before = bank.probes_issued, bank.probes_reused
     verdicts: list[SetVerdict] = []
     now = start
@@ -321,12 +380,19 @@ def _build_iffinder(run, spec, candidates, start_time):
     start = start_time if start_time is not None else _derive_start(run, spec)
     rate = float(spec.param("probes_per_second", 1_000.0))
     prober = IffinderProber(run.network, _vantage_from(spec), probes_per_second=rate)
+    optimizer = run.optimizer
     verdicts: list[SetVerdict] = []
     now = start
     probes = 0
     for candidate in candidates:
         members = sorted(candidate)
         member_set = frozenset(members)
+        if optimizer is not None and not optimizer.request(len(members)):
+            from repro.validation.budget import unresolved_verdict
+
+            verdicts.append(unresolved_verdict(members, now))
+            optimizer.record(display_name(spec), member_set, "unresolved", 0, 0)
+            continue
         union_find = UnionFind()
         set_start = now
         revealed = 0
@@ -340,6 +406,9 @@ def _build_iffinder(run, spec, candidates, start_time):
                 revealed += 1
         partition = canonical_partition(union_find.groups())
         testable = revealed > 0
+        if optimizer is not None:
+            optimizer.charge(len(members))
+            optimizer.record(display_name(spec), member_set, "probed", len(members), 0)
         verdicts.append(
             SetVerdict(
                 candidate=member_set,
@@ -411,6 +480,34 @@ def _build_ptr(run, spec, candidates, start_time):
 # --------------------------------------------------------------------------- #
 # Combinator kinds
 # --------------------------------------------------------------------------- #
+@validator_kind(
+    "consensus", "run N techniques over one candidate list; per-set majority vote"
+)
+def _build_consensus(run, spec, candidates, start_time):
+    from repro.validation.budget import consensus_report
+
+    if len(spec.inputs) < 2:
+        raise ValidationError(
+            f"validator combinator 'consensus' takes at least two inputs "
+            f"(got {len(spec.inputs)})"
+        )
+    if candidates is None:
+        candidates = _derive_candidates(run, spec)
+    start = start_time
+    if start is None and (
+        spec.param("start_time") is not None or spec.param("start_after") is not None
+    ):
+        start = _derive_start(run, spec)
+    reports = [
+        run_validator(run, inner, candidates=candidates, start_time=start)
+        for inner in spec.inputs
+    ]
+    overall_start = (
+        start if start is not None else min(report.started_at for report in reports)
+    )
+    return consensus_report(spec, reports, candidates, overall_start)
+
+
 def _single_input(spec: ValidatorSpec) -> ValidatorSpec:
     if len(spec.inputs) != 1:
         raise ValidationError(
@@ -498,6 +595,18 @@ PTR_SSH_SAMPLE = sample(
     seed=7,
     max_size=10,
 )
+#: MIDAR, Ally and iffinder voting over the same SSH sample through one
+#: shared bank — the "techniques disagree" discussion as a report.
+CONSENSUS_SSH_SAMPLE = sample(
+    consensus(
+        midar(source="active", protocol="ssh", family="ipv4", start_after="active-ipv6"),
+        ally(source="active", protocol="ssh", family="ipv4", start_after="active-ipv6"),
+        iffinder(source="active", protocol="ssh", family="ipv4"),
+    ),
+    size=150,
+    seed=7,
+    max_size=10,
+)
 
 register_validator(
     "midar", MIDAR_SSH_SAMPLE, "MIDAR over sampled SSH IPv4 sets (the Table 2 validation)"
@@ -513,4 +622,9 @@ register_validator(
 )
 register_validator(
     "ptr", PTR_SSH_SAMPLE, "reverse-DNS name matching over the SSH sample"
+)
+register_validator(
+    "consensus",
+    CONSENSUS_SSH_SAMPLE,
+    "MIDAR + Ally + iffinder majority vote over the SSH sample",
 )

@@ -186,3 +186,17 @@ def sample(
 def family_subset(spec: ValidatorSpec, family: str, label: str | None = None) -> ValidatorSpec:
     """Restrict every candidate set to one address family before validating."""
     return ValidatorSpec.create("filter-family", inputs=(spec,), label=label, family=family)
+
+
+def consensus(
+    *specs: ValidatorSpec, label: str | None = None, **params: ParamValue
+) -> ValidatorSpec:
+    """Run N techniques over one candidate list and fold a majority verdict.
+
+    Every input validates the *same* candidate sets through the run's
+    shared banks; the per-set report records each technique's vote
+    (agree / disagree / untestable / unresolved) and agrees when a strict
+    majority of the cast votes agree — the paper's "techniques disagree"
+    discussion as a first-class output.
+    """
+    return ValidatorSpec.create("consensus", inputs=tuple(specs), label=label, **params)

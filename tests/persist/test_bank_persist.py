@@ -1,0 +1,251 @@
+"""Validation sample-bank persistence: signed documents, zero-probe reloads."""
+
+import json
+import random
+
+import pytest
+
+from repro.api.config import ScenarioConfig
+from repro.api.session import ReproSession
+from repro.errors import PersistError
+from repro.net.ipid import MonotonicIpidCounter, RandomIpidCounter
+from repro.persist.bank import (
+    BANK_FORMAT_VERSION,
+    bank_state_from_document,
+    bank_state_signature,
+    bank_state_to_document,
+)
+from repro.persist.session import SESSION_MANIFEST
+from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
+from repro.simnet.device import Device, DeviceRole, Interface
+from repro.simnet.network import SimulatedInternet
+from repro.validation.bank import IpidSampleBank
+from repro.validation.runner import ValidationRun, run_validator
+from repro.validation.spec import midar
+
+_CONFIG = ScenarioConfig(scale=0.05, seed=7)
+
+TRUE_SET = frozenset({"10.7.1.1", "10.7.1.2", "10.7.1.3"})
+FALSE_SET = frozenset({"10.7.1.1", "10.7.2.1"})
+
+
+def build_network():
+    registry = AsRegistry()
+    registry.add(AutonomousSystem(asn=300, name="ISP", role=AsRole.ISP))
+    devices = [
+        Device(
+            device_id="shared",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=300,
+            interfaces=[
+                Interface(name="a", address="10.7.1.1", asn=300),
+                Interface(name="b", address="10.7.1.2", asn=300),
+                Interface(name="c", address="10.7.1.3", asn=300),
+            ],
+            ipid_counter=MonotonicIpidCounter(start=700, velocity=5.0, jitter=0),
+        ),
+        Device(
+            device_id="other",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=300,
+            interfaces=[Interface(name="a", address="10.7.2.1", asn=300)],
+            ipid_counter=MonotonicIpidCounter(start=20000, velocity=5.0, jitter=0),
+        ),
+        Device(
+            device_id="random",
+            role=DeviceRole.SERVER,
+            home_asn=300,
+            interfaces=[Interface(name="a", address="10.7.3.1", asn=300)],
+            ipid_counter=RandomIpidCounter(rng=random.Random(3)),
+        ),
+    ]
+    return SimulatedInternet(registry=registry, devices=devices, seed=1, loss_rate=0.0)
+
+
+def _warm_run():
+    """A validation run whose bank holds series, pairs and estimation keys."""
+    run = ValidationRun(build_network())
+    run_validator(
+        run,
+        midar(vantage_name="bank-persist", vantage_address="192.0.2.31"),
+        candidates=(TRUE_SET, FALSE_SET),
+        start_time=0.0,
+    )
+    return run
+
+
+def _count_probes(network):
+    counter = {"probes": 0}
+    original = network.sample_ipid
+
+    def counting(address, vantage, now=0.0):
+        counter["probes"] += 1
+        return original(address, vantage, now=now)
+
+    network.sample_ipid = counting
+    return counter
+
+
+class TestBankDocuments:
+    def test_round_trip_through_json(self):
+        run = _warm_run()
+        (bank,) = run.banks().values()
+        state = bank.export_state()
+        document = json.loads(json.dumps(bank_state_to_document(state)))
+        assert document["version"] == BANK_FORMAT_VERSION
+        assert bank_state_from_document(document) == state
+
+    def test_restored_bank_answers_offline(self):
+        run = _warm_run()
+        (bank,) = run.banks().values()
+        document = json.loads(json.dumps(bank_state_to_document(bank.export_state())))
+        fresh_network = build_network()
+        counter = _count_probes(fresh_network)
+        restored = IpidSampleBank.from_state(
+            fresh_network, bank_state_from_document(document)
+        )
+        assert restored.probes_issued == bank.probes_issued
+        pair = sorted(TRUE_SET)[:2]
+        assert restored.cached_interleaved(pair[0], pair[1]) is not None
+        assert counter["probes"] == 0
+
+    def test_tampered_state_fails_signature(self):
+        run = _warm_run()
+        (bank,) = run.banks().values()
+        document = bank_state_to_document(bank.export_state())
+        document["state"]["probes_issued"] += 1
+        with pytest.raises(PersistError, match="signature"):
+            bank_state_from_document(document)
+
+    def test_unsupported_version_rejected(self):
+        run = _warm_run()
+        (bank,) = run.banks().values()
+        document = bank_state_to_document(bank.export_state())
+        document["version"] = BANK_FORMAT_VERSION + 1
+        with pytest.raises(PersistError, match="version"):
+            bank_state_from_document(document)
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(PersistError, match="malformed"):
+            bank_state_from_document({"version": BANK_FORMAT_VERSION})
+        with pytest.raises(PersistError, match="not an object"):
+            bank_state_from_document(
+                {"version": BANK_FORMAT_VERSION, "state": 3, "signature": "x"}
+            )
+        with pytest.raises(PersistError, match="lacks"):
+            bank_state_from_document(
+                {
+                    "version": BANK_FORMAT_VERSION,
+                    "state": {"vantage": {}},
+                    "signature": bank_state_signature({"vantage": {}}),
+                }
+            )
+
+    def test_signature_is_canonical_over_key_order(self):
+        state = {"b": 1, "a": {"y": 2, "x": 3}}
+        reordered = {"a": {"x": 3, "y": 2}, "b": 1}
+        assert bank_state_signature(state) == bank_state_signature(reordered)
+
+
+@pytest.fixture(scope="module")
+def saved_session(tmp_path_factory):
+    """A session that validated once, then saved — banks and all."""
+    session = ReproSession(_CONFIG)
+    result = session.validate_budgeted(["midar"])
+    directory = tmp_path_factory.mktemp("bank-session") / "saved"
+    session.save(directory)
+    return session, result, directory
+
+
+class TestSessionBankRoundTrip:
+    def test_manifest_carries_banks(self, saved_session):
+        _, _, directory = saved_session
+        manifest = json.loads((directory / SESSION_MANIFEST).read_text())
+        assert manifest["banks"], "no bank documents were saved"
+        for entry in manifest["banks"]:
+            assert (directory / entry["file"]).exists()
+
+    def test_reload_rescores_with_zero_probes(self, saved_session):
+        _, result, directory = saved_session
+        loaded = ReproSession.load(directory)
+        counter = _count_probes(loaded.network)
+        reloaded = loaded.validate_budgeted(["midar"])
+        assert counter["probes"] == 0, "a reloaded session re-probed banked schedules"
+        (before,) = result.reports
+        (after,) = reloaded.reports
+        assert [
+            (v.candidate, v.testable, v.agrees, v.partition) for v in before.verdicts
+        ] == [(v.candidate, v.testable, v.agrees, v.partition) for v in after.verdicts]
+
+    def test_bank_pin_mismatch_detected(self, saved_session, tmp_path):
+        _, _, directory = saved_session
+        copy = tmp_path / "torn"
+        copy.mkdir()
+        for path in directory.rglob("*"):
+            target = copy / path.relative_to(directory)
+            if path.is_dir():
+                target.mkdir(parents=True, exist_ok=True)
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_bytes(path.read_bytes())
+        manifest = json.loads((copy / SESSION_MANIFEST).read_text())
+        manifest["banks"][0]["signature"] = "0" * 64
+        (copy / SESSION_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(PersistError, match="torn mid-save"):
+            ReproSession.load(copy)
+
+    def test_manifest_without_banks_still_loads(self, saved_session, tmp_path):
+        # Back-compat: sessions saved before bank persistence existed.
+        _, _, directory = saved_session
+        copy = tmp_path / "old-format"
+        copy.mkdir()
+        for path in directory.rglob("*"):
+            target = copy / path.relative_to(directory)
+            if path.is_dir():
+                target.mkdir(parents=True, exist_ok=True)
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_bytes(path.read_bytes())
+        manifest = json.loads((copy / SESSION_MANIFEST).read_text())
+        del manifest["banks"]
+        (copy / SESSION_MANIFEST).write_text(json.dumps(manifest))
+        loaded = ReproSession.load(copy)
+        assert loaded.validation_bank_states() == []
+
+
+class TestCheckpointerBanks:
+    def test_campaign_checkpoint_round_trips_banks(self, tmp_path):
+        from repro.persist.campaign import CampaignCheckpointer, load_checkpoint
+
+        run = _warm_run()
+        campaign = ReproSession(_CONFIG).longitudinal(snapshots=2, churn_fraction=0.05)
+        directory = tmp_path / "campaign"
+        campaign.run(
+            checkpointer=CampaignCheckpointer(directory, _CONFIG, validation_run=run)
+        )
+        checkpoint = load_checkpoint(directory)
+        assert len(checkpoint.bank_states) == 1
+        restored = ValidationRun(build_network())
+        bank = restored.restore_bank(checkpoint.bank_states[0])
+        assert bank.probes_issued == next(iter(run.banks().values())).probes_issued
+
+    def test_stream_checkpoint_round_trips_banks(self, tmp_path):
+        from repro.persist.stream import StreamCheckpointer, load_stream_checkpoint
+        from repro.stream.daemon import DaemonConfig, StreamDaemon
+        from repro.stream.engine import StreamConfig, StreamingEngine
+
+        run = _warm_run()
+        campaign = ReproSession(_CONFIG).longitudinal(snapshots=2, churn_fraction=0.05)
+        directory = tmp_path / "stream"
+        daemon = StreamDaemon(
+            campaign,
+            StreamingEngine(StreamConfig(), options=campaign.options),
+            config=DaemonConfig(max_polls=2),
+            checkpointer=StreamCheckpointer(directory, _CONFIG, validation_run=run),
+        )
+        daemon.run()
+        checkpoint = load_stream_checkpoint(directory)
+        assert len(checkpoint.bank_states) == 1
+        restored = ValidationRun(build_network())
+        bank = restored.restore_bank(checkpoint.bank_states[0])
+        assert bank.probes_reused == next(iter(run.banks().values())).probes_reused

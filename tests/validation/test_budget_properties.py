@@ -1,0 +1,156 @@
+"""Hypothesis property tests for the probe-budget optimizer.
+
+Two invariants the optimizer's docstrings promise:
+
+* **Staleness honesty** — a re-validation whose gap since the banked
+  collections is within the velocity-cache ttl re-scores with zero fresh
+  probes and byte-identical decisions; a gap beyond the ttl always goes
+  back to the network (an expired entry is never silently reused).
+* **Scheduler determinism** — the same candidates under the same budget
+  produce the same spend order (the per-set outcome sequence, probes and
+  all) and the same verdicts on every run; nothing in the priority
+  scheduler depends on iteration order, hashing, or wall clock.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipid import MonotonicIpidCounter, RandomIpidCounter
+from repro.simnet.asn import AsRegistry, AsRole, AutonomousSystem
+from repro.simnet.device import Device, DeviceRole, Interface
+from repro.simnet.network import SimulatedInternet, VantagePoint
+from repro.validation.budget import ProbeBudgetOptimizer
+from repro.validation.runner import ValidationRun, run_validator
+from repro.validation.spec import midar
+
+VP_PARAMS = dict(vantage_name="budget-prop", vantage_address="192.0.2.77")
+
+#: Every probe-responsive address of the property network, grouped by device.
+DEVICE_ADDRESSES = {
+    "shared": ("10.1.0.1", "10.1.0.2", "10.1.0.3"),
+    "shared-2": ("10.2.0.1", "10.2.0.2"),
+    "random": ("10.3.0.1", "10.3.0.2"),
+}
+ALL_ADDRESSES = tuple(
+    address for addresses in DEVICE_ADDRESSES.values() for address in addresses
+)
+
+
+def build_network():
+    registry = AsRegistry()
+    registry.add(AutonomousSystem(asn=200, name="ISP", role=AsRole.ISP))
+    devices = [
+        Device(
+            device_id="shared",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=200,
+            interfaces=[
+                Interface(name=f"i{i}", address=address, asn=200)
+                for i, address in enumerate(DEVICE_ADDRESSES["shared"])
+            ],
+            ipid_counter=MonotonicIpidCounter(start=500, velocity=5.0, jitter=0),
+        ),
+        Device(
+            device_id="shared-2",
+            role=DeviceRole.CORE_ROUTER,
+            home_asn=200,
+            interfaces=[
+                Interface(name=f"i{i}", address=address, asn=200)
+                for i, address in enumerate(DEVICE_ADDRESSES["shared-2"])
+            ],
+            ipid_counter=MonotonicIpidCounter(start=30000, velocity=5.0, jitter=0),
+        ),
+        Device(
+            device_id="random",
+            role=DeviceRole.SERVER,
+            home_asn=200,
+            interfaces=[
+                Interface(name=f"i{i}", address=address, asn=200)
+                for i, address in enumerate(DEVICE_ADDRESSES["random"])
+            ],
+            ipid_counter=RandomIpidCounter(rng=random.Random(7)),
+        ),
+    ]
+    return SimulatedInternet(registry=registry, devices=devices, seed=1, loss_rate=0.0)
+
+
+def _count_probes(network):
+    counter = {"probes": 0}
+    original = network.sample_ipid
+
+    def counting(address, vantage, now=0.0):
+        counter["probes"] += 1
+        return original(address, vantage, now=now)
+
+    network.sample_ipid = counting
+    return counter
+
+
+def _decisions(report):
+    return [(v.candidate, v.testable, v.agrees, v.partition) for v in report.verdicts]
+
+
+candidate_sets = st.lists(
+    st.frozensets(st.sampled_from(ALL_ADDRESSES), min_size=2, max_size=4),
+    min_size=1,
+    max_size=4,
+    unique=True,
+).map(tuple)
+
+
+@given(
+    ttl=st.floats(min_value=500.0, max_value=1e5, allow_nan=False),
+    fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    within=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_staleness_bound_is_honest(ttl, fraction, within):
+    """Within the ttl: free, identical re-score.  Beyond it: live re-probe.
+
+    Freshness is judged per collection against *its* collection time, so
+    "within" means the whole first run plus the gap fits inside the ttl
+    (the minimum ttl above exceeds any first-run duration here), and
+    "beyond" puts the gap past the ttl of even the first run's last
+    collection.
+    """
+    spec = midar(**VP_PARAMS)
+    candidates = (frozenset(DEVICE_ADDRESSES["shared"]),)
+    network = build_network()
+    run = ValidationRun(network)
+    run.optimizer = ProbeBudgetOptimizer(velocity_ttl=ttl)
+    first = run_validator(run, spec, candidates=candidates, start_time=0.0)
+    assert first.finished_at < 500.0, "property network outgrew the minimum ttl"
+    counter = _count_probes(network)
+    if within:
+        gap = (ttl - first.finished_at) * fraction
+    else:
+        # Past the ttl even for the last collection of the first run.
+        gap = ttl + first.finished_at + 1.0 + fraction * ttl
+    second = run_validator(run, spec, candidates=candidates, start_time=gap)
+    if within:
+        assert counter["probes"] == 0, "a fresh entry must re-score without probing"
+        assert _decisions(second) == _decisions(first)
+    else:
+        assert counter["probes"] > 0, "an expired entry must never be silently reused"
+
+
+@given(candidates=candidate_sets, budget=st.one_of(st.none(), st.integers(min_value=0, max_value=150)))
+@settings(max_examples=25, deadline=None)
+def test_scheduler_is_deterministic(candidates, budget):
+    """Same candidates + same budget -> same spend order, same verdicts."""
+    spec = midar(**VP_PARAMS)
+
+    def one_run():
+        run = ValidationRun(build_network())
+        run.optimizer = ProbeBudgetOptimizer(budget=budget)
+        report = run_validator(run, spec, candidates=candidates, start_time=0.0)
+        return run.optimizer, report
+
+    first_optimizer, first_report = one_run()
+    second_optimizer, second_report = one_run()
+    assert first_optimizer.outcomes == second_optimizer.outcomes
+    assert _decisions(first_report) == _decisions(second_report)
+    assert first_optimizer.budget.spent == second_optimizer.budget.spent
+    assert first_optimizer.budget.closed == second_optimizer.budget.closed
